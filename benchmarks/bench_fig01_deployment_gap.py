@@ -1,0 +1,70 @@
+"""Figure 1: out-of-box deployment accuracy, codesign vs. post-hoc quantisation.
+
+The paper's headline motivation: deploying a conventionally trained DONN
+onto real (discrete, imperfect) hardware loses tens of accuracy points
+(95.2% -> 63.9% style gap), whereas LightRidge's codesign training keeps
+the out-of-box deployment within a few points of simulation.  Here the
+"hardware" is the emulated testbench: a coarse (8-level) SLM with
+fabrication variation and a noisy CMOS camera.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_helpers import report, save_results, train_donn
+from repro.codesign import slm_profile
+from repro.hardware import HardwareTestbench
+
+
+def test_fig01_deployment_gap(benchmark, bench_config, bench_digits):
+    # A realistic "difficult" device: few valid levels covering only half the
+    # phase circle (analog SLMs rarely reach a full 2 pi, Section 2.2), so
+    # post-hoc quantisation of a freely trained model is very lossy while
+    # codesign training simply works within the device's constraint.
+    device = slm_profile(num_levels=8, coverage=np.pi, seed=1)
+    _, _, test_x, test_y = bench_digits
+    codesign_config = bench_config.with_updates(codesign_temperature=0.5)
+
+    def experiment():
+        # Conventional flow: train a continuous-phase model, quantise afterwards.
+        raw_model, raw_result = train_donn(bench_config, bench_digits, epochs=10)
+        raw_report = HardwareTestbench(raw_model, profile=device, seed=0).report(test_x, test_y)
+
+        # LightRidge flow: codesign training directly over the device levels.
+        codesign_model, codesign_result = train_donn(
+            codesign_config, bench_digits, epochs=10, device_profile=device
+        )
+        codesign_report = HardwareTestbench(codesign_model, profile=device, seed=0).report(test_x, test_y)
+        return raw_result, raw_report, codesign_result, codesign_report
+
+    raw_result, raw_report, codesign_result, codesign_report = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    rows = [
+        {
+            "flow": "post-training quantisation (SOTA baseline)",
+            "simulation_accuracy": raw_report.simulation_accuracy,
+            "deployed_accuracy": raw_report.hardware_accuracy,
+            "deployment_gap": raw_report.accuracy_gap,
+        },
+        {
+            "flow": "LightRidge codesign training",
+            "simulation_accuracy": codesign_report.simulation_accuracy,
+            "deployed_accuracy": codesign_report.hardware_accuracy,
+            "deployment_gap": codesign_report.accuracy_gap,
+        },
+    ]
+    notes = (
+        "Paper: baseline deploys at 63.9% vs 95.2% for LightRidge (no manual calibration). "
+        "Reproduced shape: codesign deployment gap is much smaller than post-hoc quantisation's."
+    )
+    report("Figure 1: deployment accuracy gap", rows, notes)
+    save_results("fig01_deployment_gap", rows, notes)
+
+    # Qualitative claims that must hold: codesign deploys out of the box at a
+    # higher accuracy than the conventional train-then-quantise flow, and its
+    # own simulation-to-hardware gap is small (no manual calibration needed).
+    assert codesign_report.hardware_accuracy > raw_report.hardware_accuracy
+    assert abs(codesign_report.accuracy_gap) < 0.05

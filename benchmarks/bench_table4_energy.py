@@ -1,0 +1,78 @@
+"""Table 4: energy efficiency (fps/Watt) and accuracy, DONN vs conventional NNs.
+
+Two halves:
+
+* efficiency -- the analytical power model compares the DONN prototype
+  (laser + passive layers + CMOS read-out) against GPU / CPU / EdgeTPU
+  platforms running the MLP and CNN baselines at batch 1;
+* accuracy -- the MLP and CNN baselines are actually trained on the same
+  synthetic digit/fashion data as the DONN, and the DONN accuracy comes
+  from the shared trained reference model, reproducing the "~1 point
+  behind digital NNs" observation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_helpers import report, save_results
+from repro import Trainer, load_digits, load_fashion
+from repro.baselines import CNNBaseline, MLPBaseline
+from repro.hardware import DONNPowerModel, energy_efficiency_table
+
+
+def _train_digital(model, dataset, epochs, lr):
+    train_x, train_y, test_x, test_y = dataset
+    trainer = Trainer(model, num_classes=10, learning_rate=lr, batch_size=25, loss="cross_entropy", seed=0)
+    result = trainer.fit(train_x, train_y, epochs=epochs, test_images=test_x, test_labels=test_y)
+    return result.final_test_accuracy
+
+
+def test_table4_energy_efficiency(benchmark):
+    rows = benchmark.pedantic(lambda: energy_efficiency_table(system_size=200), rounds=1, iterations=1)
+    notes = (
+        "Paper: DONN prototype 995 fps/W; desktop GPUs/CPUs are 2 orders of magnitude less efficient, "
+        "edge TPUs 1 order.  Reproduced with the analytical power model."
+    )
+    report("Table 4 (efficiency): fps/Watt by platform", rows, notes)
+    save_results("table4_energy_efficiency", rows, notes)
+
+    donn_row = rows[-1]
+    np.testing.assert_allclose(donn_row["fps_per_watt"], 995.0, rtol=0.01)
+    digital = {row["platform"]: row for row in rows[:-1]}
+    for name in ("GPU 2080 Ti", "GPU 3090 Ti", "CPU Xeon"):
+        assert digital[name]["donn_advantage_mlp"] > 50  # ~2 orders of magnitude
+    assert 5 < digital["XPU (EdgeTPU)"]["donn_advantage_mlp"] < 200  # ~1 order
+
+
+def test_table4_accuracy_comparison(benchmark, trained_reference_donn, bench_digits):
+    digits_28 = load_digits(num_train=250, num_test=80, size=28, seed=11)
+    fashion_28 = load_fashion(num_train=250, num_test=80, size=28, seed=11)
+
+    def experiment():
+        results = {}
+        results["mlp_digits"] = _train_digital(MLPBaseline(28 * 28, hidden=64, seed=0), digits_28, epochs=8, lr=0.005)
+        results["mlp_fashion"] = _train_digital(MLPBaseline(28 * 28, hidden=64, seed=0), fashion_28, epochs=8, lr=0.005)
+        results["cnn_digits"] = _train_digital(CNNBaseline(28, hidden=32, seed=0), digits_28, epochs=4, lr=0.01)
+        return results
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    donn_model, donn_result = trained_reference_donn
+
+    rows = [
+        {"model": "MLP (digital)", "digits_accuracy": results["mlp_digits"], "fashion_accuracy": results["mlp_fashion"]},
+        {"model": "CNN (digital)", "digits_accuracy": results["cnn_digits"]},
+        {"model": "DONN (optical, 3-layer)", "digits_accuracy": donn_result.final_test_accuracy},
+    ]
+    notes = (
+        "Paper: digital NNs reach 0.99/0.91 (MNIST/FMNIST) vs 0.98/0.89 for the DONN -- the optical "
+        "system trails by a point or two while being orders of magnitude more efficient.  Reproduced "
+        "shape: the DONN is competitive with but not above the digital baselines."
+    )
+    report("Table 4 (accuracy): DONN vs digital baselines", rows, notes)
+    save_results("table4_accuracy", rows, notes)
+
+    assert results["mlp_digits"] > 0.5
+    assert donn_result.final_test_accuracy > 0.4
+    # The DONN should be in the same league as, but not clearly better than, the MLP.
+    assert donn_result.final_test_accuracy <= results["mlp_digits"] + 0.1

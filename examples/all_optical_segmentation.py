@@ -1,0 +1,67 @@
+"""All-optical image segmentation with optical skip connections (Section 5.6.2, Figure 13).
+
+Trains the advanced segmentation DONN (optical skip connection + training
+time layer normalisation) and the paper's baseline architecture (no skip,
+no norm) on synthetic street scenes with building/background masks, then
+compares IoU and shows one predicted mask as ASCII art.
+
+Run with::
+
+    python examples/all_optical_segmentation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DONNConfig, SegmentationDONN, SegmentationTrainer, load_segmentation_scenes
+from repro.train import intersection_over_union
+from repro.utils import ascii_heatmap, format_table
+
+
+def train_and_score(model, train_images, train_masks, test_images, test_masks, epochs=6) -> float:
+    trainer = SegmentationTrainer(model, learning_rate=0.2, batch_size=8, seed=0)
+    trainer.fit(train_images, train_masks, epochs=epochs)
+    predicted = model.predict_mask(test_images)
+    return intersection_over_union(predicted, test_masks)
+
+
+def main() -> None:
+    images, masks = load_segmentation_scenes(num_samples=96, size=48, seed=0)
+    train_images, train_masks = images[:80], masks[:80]
+    test_images, test_masks = images[80:], masks[80:]
+
+    config = DONNConfig(
+        sys_size=48,
+        pixel_size=36e-6,
+        distance=0.08,
+        wavelength=532e-9,
+        num_layers=5,
+        amplitude_factor=0.9,
+        seed=0,
+    )
+
+    advanced = SegmentationDONN(config, use_skip=True, use_layer_norm=True)
+    baseline = SegmentationDONN(config, use_skip=False, use_layer_norm=False)
+
+    advanced_iou = train_and_score(advanced, train_images, train_masks, test_images, test_masks)
+    baseline_iou = train_and_score(baseline, train_images, train_masks, test_images, test_masks)
+
+    print("segmentation quality on held-out scenes (cf. Figure 13b):")
+    print(format_table([
+        {"model": "skip connection + layer norm (ours)", "IoU": advanced_iou},
+        {"model": "baseline (no skip, no norm)", "IoU": baseline_iou},
+    ]))
+
+    sample = test_images[:1]
+    predicted_mask = advanced.predict_mask(sample)[0]
+    print("\ninput scene:")
+    print(ascii_heatmap(sample[0], width=48, height=20))
+    print("\nground-truth building mask:")
+    print(ascii_heatmap(test_masks[0], width=48, height=20))
+    print("\nall-optical predicted mask:")
+    print(ascii_heatmap(predicted_mask, width=48, height=20))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Multi-channel RGB DONN for scene classification (Section 5.6.1, Figure 12 / Table 5).
+
+Builds the three-channel architecture -- the input RGB image is split into
+R/G/B grey-scale images, each routed through its own five-layer diffractive
+stack, with all beams projected onto one shared detector -- and compares it
+against the single-channel baseline trained without the complex-valued
+regularization (Zhou et al.-style training).
+
+Run with::
+
+    python examples/rgb_multichannel_classification.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DONNConfig, MultiChannelDONN, Trainer, load_scenes
+from repro.data import SCENE_CLASSES
+from repro.train import top_k_accuracy
+from repro.utils import format_table
+
+
+def evaluate_topk(model, images: np.ndarray, labels: np.ndarray) -> dict:
+    from repro.autograd import no_grad
+
+    model.eval()
+    with no_grad():
+        logits = np.asarray(model(images).data.real)
+    model.train()
+    return {
+        "top1": top_k_accuracy(logits, labels, k=1),
+        "top3": top_k_accuracy(logits, labels, k=3),
+        "top5": top_k_accuracy(logits, labels, k=5),
+    }
+
+
+def calibrate_gamma(config: DONNConfig, images: np.ndarray, num_channels: int, target: float = 1.0) -> float:
+    """Amplitude-regularization calibration (Section 3.2) for the RGB model."""
+    from repro.autograd import no_grad
+
+    probe = MultiChannelDONN(config.with_updates(amplitude_factor=1.0), num_channels=num_channels)
+    with no_grad():
+        logits = np.asarray(probe(images).data.real)
+    mean_max = float(logits.max(axis=-1).mean())
+    return float((target / mean_max) ** (1.0 / (2.0 * (config.num_layers + 1))))
+
+
+def main() -> None:
+    num_classes = len(SCENE_CLASSES)
+    train_x, train_y, test_x, test_y = load_scenes(num_train=240, num_test=60, size=48, num_classes=num_classes, seed=0)
+    print(f"scene dataset: {len(train_x)} train / {len(test_x)} test, classes: {', '.join(SCENE_CLASSES)}")
+
+    config = DONNConfig(
+        sys_size=48,
+        pixel_size=36e-6,
+        distance=0.08,
+        wavelength=532e-9,
+        num_layers=3,
+        num_classes=num_classes,
+        det_size=6,
+        seed=0,
+    )
+
+    # Multi-channel RGB DONN (ours) with the calibrated amplitude factor.
+    gamma = calibrate_gamma(config, train_x[:8], num_channels=3)
+    print(f"calibrated amplitude regularization factor gamma = {gamma:.3f}")
+    rgb_model = MultiChannelDONN(config.with_updates(amplitude_factor=gamma), num_channels=3)
+    Trainer(rgb_model, num_classes=num_classes, learning_rate=0.1, batch_size=30, loss="cross_entropy", seed=0).fit(
+        train_x, train_y, epochs=6
+    )
+    rgb_scores = evaluate_topk(rgb_model, test_x, test_y)
+
+    # Baseline: single grey-scale channel (luminance), no regularization.
+    grey_train = train_x.mean(axis=1, keepdims=True)
+    grey_test = test_x.mean(axis=1, keepdims=True)
+    baseline = MultiChannelDONN(config.with_updates(amplitude_factor=1.0), num_channels=1)
+    Trainer(baseline, num_classes=num_classes, learning_rate=0.1, batch_size=30, loss="cross_entropy", seed=0).fit(
+        grey_train, train_y, epochs=6
+    )
+    baseline_scores = evaluate_topk(baseline, grey_test, test_y)
+
+    print("\nscene classification accuracy (cf. Table 5):")
+    print(format_table([
+        {"model": "RGB multi-channel DONN (ours)", **rgb_scores},
+        {"model": "single-channel baseline", **baseline_scores},
+    ]))
+
+
+if __name__ == "__main__":
+    main()

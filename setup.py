@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools lacks PEP 660 wheel support
+(``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Baselines the paper compares against.
+
+* :mod:`~repro.baselines.lightpipes` -- a LightPipes-style emulator:
+  algorithmically identical scalar diffraction, but implemented the way a
+  general-purpose optics education tool is -- per-sample loops, explicit
+  DFT-matrix transforms, no operator fusion, no batching -- so it serves
+  as the runtime baseline of Table 1 and Figures 8-9 and as an
+  independent numerical cross-check of the optimised kernels.
+* :mod:`~repro.baselines.digital_nn` -- the MLP and CNN baselines of
+  Table 4, built on :mod:`repro.autograd`.
+* :mod:`~repro.baselines.regularization` -- amplitude-factor calibration
+  for the complex-valued regularization (Section 3.2) and the
+  no-regularization "baseline training" of Lin/Zhou-style prior work used
+  in Figure 7 and Table 5.
+"""
+
+from repro.baselines.lightpipes import LightPipesEmulator, KernelTimings
+from repro.baselines.digital_nn import MLPBaseline, CNNBaseline
+from repro.baselines.regularization import calibrate_amplitude_factor, build_regularized_donn, build_baseline_donn
+
+__all__ = [
+    "LightPipesEmulator",
+    "KernelTimings",
+    "MLPBaseline",
+    "CNNBaseline",
+    "calibrate_amplitude_factor",
+    "build_regularized_donn",
+    "build_baseline_donn",
+]

@@ -1,0 +1,106 @@
+"""Digital neural-network baselines of Table 4.
+
+The paper compares the DONN prototype against a two-layer MLP
+(``input -> 128 -> 10``) and a small CNN (two Conv2D + MaxPool blocks
+followed by two linear layers), both running on conventional digital
+platforms.  Both are implemented here on :mod:`repro.autograd` so the
+accuracy comparison and the operation-count-based energy model share the
+exact same architectures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import Module, Parameter, Tensor, functional
+
+
+def _kaiming(rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int) -> np.ndarray:
+    return rng.normal(scale=np.sqrt(2.0 / fan_in), size=shape)
+
+
+class MLPBaseline(Module):
+    """Two-layer perceptron: flatten -> hidden (ReLU) -> classes."""
+
+    def __init__(self, input_size: int, hidden: int = 128, num_classes: int = 10, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.input_size = input_size
+        self.weight1 = Parameter(_kaiming(rng, (hidden, input_size), input_size))
+        self.bias1 = Parameter(np.zeros(hidden))
+        self.weight2 = Parameter(_kaiming(rng, (num_classes, hidden), hidden))
+        self.bias2 = Parameter(np.zeros(num_classes))
+
+    def forward(self, images) -> Tensor:
+        x = images if isinstance(images, Tensor) else Tensor(np.asarray(images, dtype=float))
+        x = x.reshape(x.shape[0], -1)
+        hidden = functional.relu(functional.linear(x, self.weight1, self.bias1))
+        return functional.linear(hidden, self.weight2, self.bias2)
+
+    def operation_count(self) -> int:
+        """MACs per frame, used by the Table 4 energy model."""
+        hidden = self.weight1.shape[0]
+        classes = self.weight2.shape[0]
+        return self.input_size * hidden + hidden * classes
+
+
+class CNNBaseline(Module):
+    """Two Conv2D + MaxPool blocks followed by two linear layers.
+
+    Mirrors the paper's description: 5x5 kernels, 32 then 64 filters,
+    stride/padding 2 convolutions, 3x3 max pooling with stride 2.
+    """
+
+    def __init__(self, image_size: int = 28, num_classes: int = 10, hidden: int = 128, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.image_size = image_size
+        self.conv1 = Parameter(_kaiming(rng, (32, 1, 5, 5), 25))
+        self.conv1_bias = Parameter(np.zeros(32))
+        self.conv2 = Parameter(_kaiming(rng, (64, 32, 5, 5), 32 * 25))
+        self.conv2_bias = Parameter(np.zeros(64))
+        flat = self._flat_features(image_size)
+        self.weight1 = Parameter(_kaiming(rng, (hidden, flat), flat))
+        self.bias1 = Parameter(np.zeros(hidden))
+        self.weight2 = Parameter(_kaiming(rng, (num_classes, hidden), hidden))
+        self.bias2 = Parameter(np.zeros(num_classes))
+
+    @staticmethod
+    def _block_output(size: int) -> int:
+        conv = (size + 2 * 2 - 5) // 2 + 1  # conv: kernel 5, stride 2, padding 2
+        pool = (conv - 3) // 2 + 1  # pool: kernel 3, stride 2
+        return pool
+
+    def _flat_features(self, image_size: int) -> int:
+        size = self._block_output(self._block_output(image_size))
+        if size <= 0:
+            raise ValueError(f"image_size {image_size} is too small for the CNN baseline")
+        return 64 * size * size
+
+    def forward(self, images) -> Tensor:
+        x = images if isinstance(images, Tensor) else Tensor(np.asarray(images, dtype=float))
+        if x.ndim == 3:
+            x = x.reshape(x.shape[0], 1, x.shape[1], x.shape[2])
+        x = functional.relu(functional.conv2d(x, self.conv1, self.conv1_bias, stride=2, padding=2))
+        x = functional.max_pool2d(x, kernel=3, stride=2)
+        x = functional.relu(functional.conv2d(x, self.conv2, self.conv2_bias, stride=2, padding=2))
+        x = functional.max_pool2d(x, kernel=3, stride=2)
+        x = x.reshape(x.shape[0], -1)
+        hidden = functional.relu(functional.linear(x, self.weight1, self.bias1))
+        return functional.linear(hidden, self.weight2, self.bias2)
+
+    def operation_count(self) -> int:
+        """Approximate MACs per frame for the energy model."""
+        size1 = (self.image_size + 2 * 2 - 5) // 2 + 1
+        ops = size1 * size1 * 32 * 1 * 25
+        size1p = (size1 - 3) // 2 + 1
+        size2 = (size1p + 2 * 2 - 5) // 2 + 1
+        ops += size2 * size2 * 64 * 32 * 25
+        size2p = (size2 - 3) // 2 + 1
+        flat = 64 * size2p * size2p
+        hidden = self.weight1.shape[0]
+        classes = self.weight2.shape[0]
+        ops += flat * hidden + hidden * classes
+        return int(ops)

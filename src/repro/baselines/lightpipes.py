@@ -1,0 +1,151 @@
+"""A LightPipes-style reference emulator (runtime baseline of Table 1 / Figs. 8-9).
+
+LightPipes computes the same scalar diffraction physics as LightRidge but
+is built as a general-purpose teaching tool: fields are processed one at a
+time (no batching), the 2-D transforms are evaluated as explicit
+DFT-matrix products (no radix-2 FFT fusion), and each physical step
+(transform, transfer-function multiply, inverse transform, phase screen)
+is a separate pass over a fresh array (no operator fusion).  This module
+reproduces exactly that computational profile, which makes it
+
+* a *numerical cross-check*: its output field agrees with the optimised
+  kernels to floating-point accuracy (same math, different evaluation
+  order), and
+* a *runtime baseline*: the speedup of the optimised kernels over this
+  implementation has the same origin as the paper's LightRidge-vs-
+  LightPipes speedups (fused, batched, FFT-based tensor kernels vs.
+  unfused per-sample processing).
+
+Per-operator timings are recorded so the Figure 8 kernel-level breakdown
+(FFT2 / iFFT2 / complex multiply) can be reproduced.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.optics.grid import SpatialGrid
+
+
+@dataclass
+class KernelTimings:
+    """Cumulative seconds spent in each kernel category."""
+
+    fft2: float = 0.0
+    ifft2: float = 0.0
+    complex_multiply: float = 0.0
+    other: float = 0.0
+
+    def total(self) -> float:
+        return self.fft2 + self.ifft2 + self.complex_multiply + self.other
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "fft2": self.fft2,
+            "ifft2": self.ifft2,
+            "complex_multiply": self.complex_multiply,
+            "other": self.other,
+        }
+
+    def __iadd__(self, other: "KernelTimings") -> "KernelTimings":
+        self.fft2 += other.fft2
+        self.ifft2 += other.ifft2
+        self.complex_multiply += other.complex_multiply
+        self.other += other.other
+        return self
+
+
+class LightPipesEmulator:
+    """Unbatched, unfused scalar-diffraction emulator with DFT-matrix transforms."""
+
+    def __init__(self, grid: SpatialGrid, wavelength: float, distance: float):
+        if wavelength <= 0 or distance <= 0:
+            raise ValueError("wavelength and distance must be positive")
+        self.grid = grid
+        self.wavelength = float(wavelength)
+        self.distance = float(distance)
+        self.timings = KernelTimings()
+        size = grid.size
+        indices = np.arange(size)
+        # Explicit DFT matrices (the "no FFT fusion" evaluation path).
+        self._dft = np.exp(-2j * np.pi * np.outer(indices, indices) / size)
+        self._idft = np.conj(self._dft) / size
+        self._transfer = self._build_transfer_function()
+
+    def _build_transfer_function(self) -> np.ndarray:
+        fx, fy = self.grid.frequencies
+        argument = 1.0 - (self.wavelength * fx) ** 2 - (self.wavelength * fy) ** 2
+        kz = (2.0 * np.pi / self.wavelength) * np.sqrt(argument.astype(complex))
+        return np.exp(1j * kz * self.distance)
+
+    # ------------------------------------------------------------------ #
+    # Individual physical steps (each a separate, timed pass)
+    # ------------------------------------------------------------------ #
+    def _forward_transform(self, field: np.ndarray) -> np.ndarray:
+        start = time.perf_counter()
+        spectrum = self._dft @ field @ self._dft.T
+        self.timings.fft2 += time.perf_counter() - start
+        return spectrum
+
+    def _inverse_transform(self, spectrum: np.ndarray) -> np.ndarray:
+        start = time.perf_counter()
+        field = self._idft @ spectrum @ self._idft.T
+        self.timings.ifft2 += time.perf_counter() - start
+        return field
+
+    def _apply_transfer(self, spectrum: np.ndarray) -> np.ndarray:
+        start = time.perf_counter()
+        result = np.array(spectrum, copy=True)
+        result *= self._transfer
+        self.timings.complex_multiply += time.perf_counter() - start
+        return result
+
+    def _apply_phase_screen(self, field: np.ndarray, phase: np.ndarray) -> np.ndarray:
+        start = time.perf_counter()
+        screen = np.exp(1j * np.asarray(phase, dtype=float))
+        result = np.array(field, copy=True)
+        result *= screen
+        self.timings.complex_multiply += time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Public emulation API
+    # ------------------------------------------------------------------ #
+    def propagate(self, field: np.ndarray) -> np.ndarray:
+        """Propagate a single 2-D complex field over ``distance``."""
+        field = np.asarray(field, dtype=complex)
+        if field.shape != self.grid.shape:
+            raise ValueError(f"field shape {field.shape} does not match grid {self.grid.shape}")
+        spectrum = self._forward_transform(field)
+        spectrum = self._apply_transfer(spectrum)
+        return self._inverse_transform(spectrum)
+
+    def run_layer(self, field: np.ndarray, phase: np.ndarray) -> np.ndarray:
+        """One diffractive layer: propagate then apply the phase screen."""
+        return self._apply_phase_screen(self.propagate(field), phase)
+
+    def run_donn(self, fields: Sequence[np.ndarray], phases: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Emulate a multi-layer DONN for a batch, one sample at a time.
+
+        ``fields`` is a sequence of 2-D input fields (the "batch"),
+        ``phases`` the per-layer phase patterns.  Returns the per-sample
+        output intensity patterns after the final free-space hop.
+        """
+        outputs: List[np.ndarray] = []
+        for field in fields:
+            current = np.asarray(field, dtype=complex)
+            for phase in phases:
+                current = self.run_layer(current, phase)
+            current = self.propagate(current)
+            start = time.perf_counter()
+            intensity = (current * np.conj(current)).real
+            self.timings.other += time.perf_counter() - start
+            outputs.append(intensity)
+        return outputs
+
+    def reset_timings(self) -> None:
+        self.timings = KernelTimings()

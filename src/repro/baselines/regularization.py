@@ -1,0 +1,74 @@
+"""Complex-valued regularization calibration and the no-regularization baseline.
+
+Section 3.2: because every diffractive layer redistributes (and loses)
+optical power, the intensity reaching the detector shrinks rapidly with
+depth; the softmax over those tiny per-class intensities saturates to the
+uniform distribution and the MSE gradients vanish.  The paper's fix is a
+regularization factor ``gamma`` applied to the field amplitude, which
+rebalances amplitude and phase gradient scales.
+
+Here ``gamma`` is *calibrated* from the physics: given an untrained model
+and a few sample images, :func:`calibrate_amplitude_factor` solves for the
+per-layer amplitude scale that brings the detector's per-class intensities
+to a target magnitude, using the fact that the output intensity scales as
+``gamma ** (2 * (num_layers + 1))`` (one factor at the encoder, one per
+layer, squared at the detector).
+
+The *baseline* training of Lin et al. / Zhou et al. (used for comparison
+in Figure 7 and Table 5) is simply ``gamma = 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.models.config import DONNConfig
+from repro.models.donn import DONN
+
+
+def calibrate_amplitude_factor(
+    model: DONN,
+    sample_images: np.ndarray,
+    target: float = 1.0,
+) -> float:
+    """Solve for the amplitude factor that brings detector logits to ``target``.
+
+    Parameters
+    ----------
+    model:
+        An (untrained) DONN built with ``amplitude_factor = 1``.
+    sample_images:
+        A few representative input images.
+    target:
+        Desired mean of the maximum per-class collected intensity; values
+        of a few units keep the softmax responsive without saturating it.
+    """
+    if target <= 0:
+        raise ValueError("target must be positive")
+    with no_grad():
+        logits = np.asarray(model(sample_images).data.real)
+    mean_max = float(logits.max(axis=-1).mean())
+    if mean_max <= 0:
+        raise ValueError("model produced no light on the detector; check the configuration")
+    exponent = 2.0 * (model.num_layers + 1)
+    return float((target / mean_max) ** (1.0 / exponent))
+
+
+def build_regularized_donn(
+    config: DONNConfig,
+    sample_images: np.ndarray,
+    target: float = 1.0,
+    device_profile=None,
+) -> DONN:
+    """Build a DONN with the complex-valued regularization factor calibrated."""
+    probe = DONN(config.with_updates(amplitude_factor=1.0), device_profile=device_profile)
+    gamma = calibrate_amplitude_factor(probe, sample_images, target=target)
+    return DONN(config.with_updates(amplitude_factor=gamma), device_profile=device_profile)
+
+
+def build_baseline_donn(config: DONNConfig, device_profile=None) -> DONN:
+    """The prior-work training setup: no amplitude regularization (gamma = 1)."""
+    return DONN(config.with_updates(amplitude_factor=1.0), device_profile=device_profile)

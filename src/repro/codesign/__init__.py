@@ -1,0 +1,36 @@
+"""Hardware-software codesign algorithms (Section 3.2).
+
+* :mod:`~repro.codesign.device` -- device profiles: the measured, discrete
+  optical responses of SLMs / 3D-printed phase masks, including
+  fabrication variations.
+* :mod:`~repro.codesign.quantization` -- Gumbel-Softmax machinery used by
+  :class:`repro.layers.CodesignDiffractiveLayer` for quantisation-aware
+  training, plus post-training quantisation (the manual-calibration
+  baseline of Figure 1).
+* :mod:`~repro.codesign.noise` -- deployment noise models (detector
+  intensity noise, per-pixel phase error) used for the robustness study of
+  Figure 7 and the hardware-correlation study of Figure 6.
+"""
+
+from repro.codesign.device import DeviceProfile, slm_profile, thz_mask_profile, ideal_profile
+from repro.codesign.quantization import (
+    gumbel_softmax_probabilities,
+    hard_assignment,
+    post_training_quantize,
+    quantization_error,
+)
+from repro.codesign.noise import DetectorNoiseModel, PhaseNoiseModel, FabricationVariation
+
+__all__ = [
+    "DeviceProfile",
+    "slm_profile",
+    "thz_mask_profile",
+    "ideal_profile",
+    "gumbel_softmax_probabilities",
+    "hard_assignment",
+    "post_training_quantize",
+    "quantization_error",
+    "DetectorNoiseModel",
+    "PhaseNoiseModel",
+    "FabricationVariation",
+]

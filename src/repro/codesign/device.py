@@ -1,0 +1,158 @@
+"""Optical device profiles: the discrete responses real hardware can apply.
+
+A physical phase modulator (SLM pixel, 3D-printed mask voxel) offers only a
+finite set of *measured* phase/amplitude responses, indexed by the control
+value (SLM voltage level, print thickness).  The codesign algorithm of
+Section 3.2 consumes exactly this vector of available responses, so the
+profile is the boundary object between the emulation and the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """The measured optical response of a reconfigurable/fabricable device.
+
+    Parameters
+    ----------
+    phases:
+        1-D array of the phase modulation (radians) realised by each valid
+        control level, in control-level order.
+    amplitudes:
+        1-D array of the amplitude transmission of each level (defaults to
+        unity -- a pure phase modulator).
+    name:
+        Human-readable device name used in fabrication files.
+    control_values:
+        The raw control quantity per level (voltage in volts for an SLM,
+        thickness in metres for a printed mask); optional but required by
+        ``lr.model.to_system`` style exports.
+    control_unit:
+        Unit string for ``control_values``.
+    """
+
+    phases: np.ndarray
+    amplitudes: Optional[np.ndarray] = None
+    name: str = "device"
+    control_values: Optional[np.ndarray] = None
+    control_unit: str = ""
+
+    def __post_init__(self) -> None:
+        phases = np.asarray(self.phases, dtype=float)
+        object.__setattr__(self, "phases", phases)
+        if phases.ndim != 1 or phases.size < 2:
+            raise ValueError("a device profile needs a 1-D array of at least two phase levels")
+        if self.amplitudes is None:
+            object.__setattr__(self, "amplitudes", np.ones_like(phases))
+        else:
+            amplitudes = np.asarray(self.amplitudes, dtype=float)
+            if amplitudes.shape != phases.shape:
+                raise ValueError("amplitudes must have the same shape as phases")
+            if np.any(amplitudes < 0):
+                raise ValueError("amplitude transmission cannot be negative")
+            object.__setattr__(self, "amplitudes", amplitudes)
+        if self.control_values is not None:
+            control = np.asarray(self.control_values, dtype=float)
+            if control.shape != phases.shape:
+                raise ValueError("control_values must have the same shape as phases")
+            object.__setattr__(self, "control_values", control)
+
+    @property
+    def num_levels(self) -> int:
+        return int(self.phases.size)
+
+    @property
+    def phase_coverage(self) -> float:
+        """Total phase range covered by the device in radians."""
+        return float(self.phases.max() - self.phases.min())
+
+    def complex_responses(self) -> np.ndarray:
+        """Complex modulation ``A_l * exp(j * phi_l)`` of every level."""
+        return self.amplitudes * np.exp(1j * self.phases)
+
+    def nearest_level(self, phase: np.ndarray) -> np.ndarray:
+        """Index of the level whose phase is closest (circularly) to ``phase``."""
+        phase = np.asarray(phase, dtype=float)[..., None]
+        difference = np.angle(np.exp(1j * (phase - self.phases)))
+        return np.abs(difference).argmin(axis=-1)
+
+    def control_for_levels(self, indices: np.ndarray) -> np.ndarray:
+        """Control values (voltage/thickness) for an array of level indices."""
+        if self.control_values is None:
+            raise ValueError(f"device {self.name!r} has no control-value calibration")
+        return self.control_values[np.asarray(indices, dtype=int)]
+
+
+def ideal_profile(num_levels: int = 256, coverage: float = 2.0 * np.pi) -> DeviceProfile:
+    """An idealised phase modulator with uniformly spaced levels over ``coverage``."""
+    phases = np.linspace(0.0, coverage, num_levels, endpoint=False)
+    return DeviceProfile(phases=phases, name=f"ideal-{num_levels}")
+
+
+def slm_profile(
+    num_levels: int = 256,
+    coverage: float = 2.0 * np.pi,
+    nonlinearity: float = 0.15,
+    amplitude_coupling: float = 0.05,
+    max_voltage: float = 5.0,
+    seed: Optional[int] = None,
+    name: str = "LC2012-SLM",
+) -> DeviceProfile:
+    """A twisted-nematic SLM profile in the style of the HOLOEYE LC2012.
+
+    The phase response of a liquid-crystal SLM is a *nonlinear* (roughly
+    sigmoidal) function of the applied voltage and couples weakly to the
+    amplitude; this synthetic calibration reproduces those qualitative
+    features.  ``seed`` adds small per-level measurement jitter so that two
+    "measured" profiles are never bit-identical, as in practice.
+    """
+    voltage = np.linspace(0.0, max_voltage, num_levels)
+    normalised = voltage / max_voltage
+    # Sigmoid-like phase-vs-voltage curve covering [0, coverage).
+    curve = 1.0 / (1.0 + np.exp(-8.0 * (normalised - 0.5)))
+    curve = (curve - curve.min()) / (curve.max() - curve.min())
+    phases = coverage * ((1.0 - nonlinearity) * normalised + nonlinearity * curve)
+    phases = np.clip(phases, 0.0, coverage * (1.0 - 1e-9))
+    amplitudes = 1.0 - amplitude_coupling * np.sin(np.pi * normalised) ** 2
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        phases = phases + rng.normal(scale=coverage / (40.0 * num_levels), size=num_levels)
+        phases = np.clip(phases, 0.0, coverage)
+    return DeviceProfile(
+        phases=phases,
+        amplitudes=amplitudes,
+        name=name,
+        control_values=voltage,
+        control_unit="V",
+    )
+
+
+def thz_mask_profile(
+    num_levels: int = 16,
+    wavelength: float = 400e-6,
+    refractive_index: float = 1.7,
+    max_thickness: Optional[float] = None,
+    name: str = "THz-3D-printed-mask",
+) -> DeviceProfile:
+    """A 3D-printed THz phase mask: few levels, phase set by material thickness.
+
+    The phase delay of a voxel of thickness ``t`` is
+    ``(n - 1) * 2 pi t / lambda``; printable thickness is discretised into
+    ``num_levels`` steps covering one full wave.
+    """
+    if max_thickness is None:
+        max_thickness = wavelength / (refractive_index - 1.0)
+    thickness = np.linspace(0.0, max_thickness, num_levels, endpoint=False)
+    phases = (refractive_index - 1.0) * 2.0 * np.pi * thickness / wavelength
+    return DeviceProfile(
+        phases=phases,
+        name=name,
+        control_values=thickness,
+        control_unit="m",
+    )

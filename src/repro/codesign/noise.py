@@ -1,0 +1,89 @@
+"""Deployment noise models.
+
+These close the loop between the numerical emulation and the "physical"
+system of this reproduction: fabrication variations perturb the phase a
+device actually applies, and the detector adds intensity noise.  They are
+used to (a) emulate hardware measurements for the Figure 6 correlation
+study, and (b) run the robustness analysis of Figure 7 (uniform intensity
+noise of 1%, 3%, 5% at the detector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class DetectorNoiseModel:
+    """Additive uniform intensity noise at the detector plane.
+
+    ``level`` is the noise upper bound relative to the maximum intensity of
+    the (noise-free) pattern, exactly as in the paper's confidence study
+    ("random uniform noise ... with upper bound 1%, 3%, and 5% intensity").
+    """
+
+    level: float = 0.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ValueError("noise level cannot be negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def apply(self, intensity: np.ndarray) -> np.ndarray:
+        """Return a noisy copy of an intensity pattern (clipped at zero)."""
+        intensity = np.asarray(intensity, dtype=float)
+        if self.level == 0.0:
+            return intensity.copy()
+        scale = self.level * intensity.max() if intensity.size else 0.0
+        noise = self._rng.uniform(0.0, scale, size=intensity.shape)
+        return np.clip(intensity + noise, 0.0, None)
+
+
+@dataclass
+class PhaseNoiseModel:
+    """Gaussian phase error applied on top of the programmed phase values.
+
+    Models the non-uniform optical response of analog devices (Section 2.2):
+    each pixel realises the requested phase only up to ``sigma`` radians of
+    error, with an optional constant ``bias``.
+    """
+
+    sigma: float = 0.0
+    bias: float = 0.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma cannot be negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def apply(self, phase: np.ndarray) -> np.ndarray:
+        phase = np.asarray(phase, dtype=float)
+        if self.sigma == 0.0 and self.bias == 0.0:
+            return phase.copy()
+        return phase + self.bias + self._rng.normal(scale=self.sigma, size=phase.shape)
+
+
+@dataclass
+class FabricationVariation:
+    """Multiplicative amplitude and additive phase variation per pixel.
+
+    Represents pixel-to-pixel fabrication error of SLMs / printed masks;
+    drawn once per device (frozen) so repeated inferences see the same
+    hardware, as they would in the lab.
+    """
+
+    amplitude_sigma: float = 0.0
+    phase_sigma: float = 0.0
+    seed: Optional[int] = None
+
+    def sample(self, shape) -> np.ndarray:
+        """Complex per-pixel error factor ``(1 + dA) * exp(j dphi)``."""
+        rng = np.random.default_rng(self.seed)
+        amplitude = 1.0 + rng.normal(scale=self.amplitude_sigma, size=shape)
+        phase = rng.normal(scale=self.phase_sigma, size=shape)
+        return np.clip(amplitude, 0.0, None) * np.exp(1j * phase)

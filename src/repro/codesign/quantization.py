@@ -1,0 +1,78 @@
+"""Differentiable discrete codesign: Gumbel-Softmax level selection.
+
+Physical devices expose a *finite* set of valid responses (``DeviceProfile``).
+Training directly over that set -- instead of training a continuous phase
+and quantising afterwards -- is what removes the deployment accuracy cliff
+shown in Figure 1.  The categorical choice of level per diffraction unit is
+relaxed with the Gumbel-Softmax estimator (Jang et al., 2016), which the
+paper adopts from the codesign algorithm of Li et al. (ICCAD 2022).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.autograd import Tensor, functional
+
+
+def sample_gumbel(shape, rng: np.random.Generator, eps: float = 1e-12) -> np.ndarray:
+    """Draw standard Gumbel(0, 1) noise of the given shape."""
+    uniform = rng.uniform(low=eps, high=1.0 - eps, size=shape)
+    return -np.log(-np.log(uniform))
+
+
+def gumbel_softmax_probabilities(
+    logits: Tensor,
+    temperature: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Tensor:
+    """Relaxed categorical probabilities over device levels.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(..., L)`` with unnormalised level scores.
+    temperature:
+        Softmax temperature; lower values approach one-hot selections.
+    rng:
+        If given, Gumbel noise is added (stochastic, training-time
+        behaviour).  If ``None`` the deterministic softmax is returned
+        (evaluation-time behaviour).
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    logits = logits if isinstance(logits, Tensor) else Tensor(logits)
+    if rng is not None:
+        noise = sample_gumbel(logits.shape, rng)
+        scores = (logits + Tensor(noise)) * (1.0 / temperature)
+    else:
+        scores = logits * (1.0 / temperature)
+    return functional.softmax(scores, axis=-1)
+
+
+def hard_assignment(logits: np.ndarray) -> np.ndarray:
+    """Arg-max level index per unit (deployment-time hard selection)."""
+    return np.asarray(logits).argmax(axis=-1)
+
+
+def post_training_quantize(phase: np.ndarray, level_phases: np.ndarray) -> np.ndarray:
+    """Snap a continuous phase pattern to the nearest device level.
+
+    This is the conventional *post-training* quantisation path that the
+    raw-trained model must go through before deployment; the accuracy it
+    loses (relative to codesign training) is the Figure 1 deployment gap.
+    """
+    phase = np.asarray(phase, dtype=float)
+    level_phases = np.asarray(level_phases, dtype=float)
+    difference = np.angle(np.exp(1j * (phase[..., None] - level_phases)))
+    indices = np.abs(difference).argmin(axis=-1)
+    return level_phases[indices]
+
+
+def quantization_error(phase: np.ndarray, level_phases: np.ndarray) -> float:
+    """RMS circular phase error introduced by post-training quantisation."""
+    quantized = post_training_quantize(phase, level_phases)
+    circular = np.angle(np.exp(1j * (np.asarray(phase) - quantized)))
+    return float(np.sqrt(np.mean(circular**2)))

@@ -1,0 +1,39 @@
+"""Synthetic, procedurally generated datasets.
+
+The paper evaluates on MNIST, FashionMNIST, Places365 and CityScapes.
+None of those can be downloaded in this offline environment, so this
+package generates deterministic synthetic stand-ins with the same
+interface and the same *role* in each experiment:
+
+* :func:`~repro.data.digits.load_digits` -- ten classes of stroke-based
+  digit glyphs (MNIST stand-in).
+* :func:`~repro.data.fashion.load_fashion` -- ten classes of garment-like
+  silhouettes with texture (FashionMNIST stand-in; noticeably harder than
+  the digits, as in the paper).
+* :func:`~repro.data.scenes.load_scenes` -- RGB scene-type composites
+  (Places365 stand-in for the multi-channel classifier).
+* :func:`~repro.data.cityscapes.load_segmentation_scenes` -- grey-scale
+  street-like scenes with building/background masks (CityScapes stand-in).
+
+All generators take a seed and return numpy arrays in [0, 1]; they are
+fully deterministic for a given (seed, size, count).
+"""
+
+from repro.data.digits import load_digits, render_digit
+from repro.data.fashion import load_fashion, render_garment
+from repro.data.scenes import load_scenes, SCENE_CLASSES
+from repro.data.cityscapes import load_segmentation_scenes
+from repro.data.loaders import DataSplit, train_test_split, batch_iterator
+
+__all__ = [
+    "load_digits",
+    "render_digit",
+    "load_fashion",
+    "render_garment",
+    "load_scenes",
+    "SCENE_CLASSES",
+    "load_segmentation_scenes",
+    "DataSplit",
+    "train_test_split",
+    "batch_iterator",
+]

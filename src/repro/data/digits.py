@@ -1,0 +1,104 @@
+"""Synthetic handwritten-digit stand-in (MNIST replacement).
+
+Each digit class is rendered from a seven-segment-style stroke skeleton on
+a 28x28 canvas, then randomly perturbed per sample: sub-pixel translation,
+stroke-thickness variation, mild shear and additive noise.  The classes
+are visually distinct but overlap enough that a linear model does not
+reach 100%, which preserves the relative-accuracy structure the paper's
+experiments rely on (deeper DONNs and regularised training help).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+# Seven-segment layout:   _       Segments: 0 top, 1 top-left, 2 top-right,
+#                        |_|                 3 middle, 4 bottom-left,
+#                        |_|                 5 bottom-right, 6 bottom
+_SEGMENTS: Dict[int, Tuple[int, ...]] = {
+    0: (0, 1, 2, 4, 5, 6),
+    1: (2, 5),
+    2: (0, 2, 3, 4, 6),
+    3: (0, 2, 3, 5, 6),
+    4: (1, 2, 3, 5),
+    5: (0, 1, 3, 5, 6),
+    6: (0, 1, 3, 4, 5, 6),
+    7: (0, 2, 5),
+    8: (0, 1, 2, 3, 4, 5, 6),
+    9: (0, 1, 2, 3, 5, 6),
+}
+
+
+def _segment_coordinates(canvas: int) -> Dict[int, Tuple[slice, slice]]:
+    """Pixel spans of the seven segments on a square canvas."""
+    margin = canvas // 6
+    left = margin
+    right = canvas - margin
+    top = margin
+    bottom = canvas - margin
+    middle = canvas // 2
+    thickness = max(2, canvas // 12)
+    horizontal = lambda row: (slice(row, row + thickness), slice(left, right))
+    vertical = lambda col, row0, row1: (slice(row0, row1), slice(col, col + thickness))
+    return {
+        0: horizontal(top),
+        1: vertical(left, top, middle),
+        2: vertical(right - thickness, top, middle),
+        3: horizontal(middle - thickness // 2),
+        4: vertical(left, middle, bottom),
+        5: vertical(right - thickness, middle, bottom),
+        6: horizontal(bottom - thickness),
+    }
+
+
+def render_digit(digit: int, size: int = 28, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Render one (optionally randomly perturbed) digit image in [0, 1]."""
+    if digit not in _SEGMENTS:
+        raise ValueError(f"digit must be 0-9, got {digit}")
+    canvas = np.zeros((size, size), dtype=float)
+    for segment in _SEGMENTS[digit]:
+        rows, cols = _segment_coordinates(size)[segment]
+        canvas[rows, cols] = 1.0
+    if rng is None:
+        return canvas
+    # Per-sample perturbations: blur (stroke thickness), shift, shear, noise.
+    sigma = rng.uniform(0.4, 1.1)
+    canvas = ndimage.gaussian_filter(canvas, sigma=sigma)
+    shift = rng.uniform(-2.0, 2.0, size=2)
+    canvas = ndimage.shift(canvas, shift, order=1, mode="constant")
+    shear = rng.uniform(-0.15, 0.15)
+    matrix = np.array([[1.0, shear], [0.0, 1.0]])
+    offset = np.array([-shear * size / 2.0, 0.0])
+    canvas = ndimage.affine_transform(canvas, matrix, offset=offset, order=1, mode="constant")
+    canvas = canvas + rng.normal(scale=0.03, size=canvas.shape)
+    maximum = canvas.max()
+    if maximum > 0:
+        canvas = canvas / maximum
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def load_digits(
+    num_train: int = 512,
+    num_test: int = 128,
+    size: int = 28,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Generate a balanced synthetic digit dataset.
+
+    Returns ``(train_images, train_labels, test_images, test_labels)`` with
+    images of shape ``(count, size, size)`` in [0, 1].
+    """
+    rng = np.random.default_rng(seed)
+    total = num_train + num_test
+    labels = np.tile(np.arange(10), total // 10 + 1)[:total]
+    rng.shuffle(labels)
+    images = np.stack([render_digit(int(label), size=size, rng=rng) for label in labels])
+    return (
+        images[:num_train],
+        labels[:num_train].astype(int),
+        images[num_train:],
+        labels[num_train:].astype(int),
+    )

@@ -1,0 +1,177 @@
+"""Synthetic garment-silhouette dataset (FashionMNIST stand-in).
+
+Ten classes of filled silhouettes (t-shirt, trouser, pullover, dress,
+coat, sandal, shirt, sneaker, bag, ankle boot) built from geometric
+primitives with per-sample jitter and texture noise.  Several class pairs
+(t-shirt/shirt/pullover/coat, sneaker/ankle-boot) intentionally share
+silhouette structure so the dataset is harder than the digits, mirroring
+the MNIST vs. FashionMNIST accuracy gap in the paper (0.98 vs 0.89).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+GARMENT_CLASSES = (
+    "t-shirt",
+    "trouser",
+    "pullover",
+    "dress",
+    "coat",
+    "sandal",
+    "shirt",
+    "sneaker",
+    "bag",
+    "ankle-boot",
+)
+
+
+def _blank(size: int) -> np.ndarray:
+    return np.zeros((size, size), dtype=float)
+
+
+def _torso(canvas: np.ndarray, top: float, bottom: float, half_width: float, sleeves: float) -> None:
+    size = canvas.shape[0]
+    rows = slice(int(top * size), int(bottom * size))
+    centre = size // 2
+    width = int(half_width * size)
+    canvas[rows, centre - width : centre + width] = 1.0
+    if sleeves > 0:
+        sleeve_rows = slice(int(top * size), int((top + 0.18) * size))
+        sleeve_width = int(sleeves * size)
+        canvas[sleeve_rows, centre - width - sleeve_width : centre + width + sleeve_width] = 1.0
+
+
+def _tshirt(size: int) -> np.ndarray:
+    canvas = _blank(size)
+    _torso(canvas, 0.2, 0.75, 0.22, 0.12)
+    return canvas
+
+
+def _trouser(size: int) -> np.ndarray:
+    canvas = _blank(size)
+    centre = size // 2
+    leg_width = int(0.12 * size)
+    gap = int(0.05 * size)
+    canvas[int(0.15 * size) : int(0.9 * size), centre - gap - leg_width : centre - gap] = 1.0
+    canvas[int(0.15 * size) : int(0.9 * size), centre + gap : centre + gap + leg_width] = 1.0
+    canvas[int(0.15 * size) : int(0.3 * size), centre - gap - leg_width : centre + gap + leg_width] = 1.0
+    return canvas
+
+
+def _pullover(size: int) -> np.ndarray:
+    canvas = _blank(size)
+    _torso(canvas, 0.18, 0.8, 0.24, 0.2)
+    return canvas
+
+
+def _dress(size: int) -> np.ndarray:
+    canvas = _blank(size)
+    centre = size // 2
+    for row in range(int(0.15 * size), int(0.9 * size)):
+        progress = (row - 0.15 * size) / (0.75 * size)
+        width = int((0.1 + 0.2 * progress) * size)
+        canvas[row, centre - width : centre + width] = 1.0
+    return canvas
+
+
+def _coat(size: int) -> np.ndarray:
+    canvas = _blank(size)
+    _torso(canvas, 0.15, 0.9, 0.26, 0.18)
+    centre = size // 2
+    canvas[int(0.15 * size) : int(0.9 * size), centre - 1 : centre + 1] = 0.3  # opening
+    return canvas
+
+
+def _sandal(size: int) -> np.ndarray:
+    canvas = _blank(size)
+    rows = slice(int(0.6 * size), int(0.72 * size))
+    canvas[rows, int(0.15 * size) : int(0.85 * size)] = 1.0
+    for col in range(int(0.2 * size), int(0.8 * size), max(2, size // 9)):
+        canvas[int(0.45 * size) : int(0.6 * size), col : col + 2] = 1.0
+    return canvas
+
+
+def _shirt(size: int) -> np.ndarray:
+    canvas = _tshirt(size)
+    centre = size // 2
+    canvas[int(0.2 * size) : int(0.75 * size), centre - 1 : centre + 1] = 0.4  # button line
+    return canvas
+
+
+def _sneaker(size: int) -> np.ndarray:
+    canvas = _blank(size)
+    canvas[int(0.55 * size) : int(0.75 * size), int(0.1 * size) : int(0.85 * size)] = 1.0
+    canvas[int(0.45 * size) : int(0.55 * size), int(0.45 * size) : int(0.85 * size)] = 1.0
+    return canvas
+
+
+def _bag(size: int) -> np.ndarray:
+    canvas = _blank(size)
+    canvas[int(0.4 * size) : int(0.85 * size), int(0.2 * size) : int(0.8 * size)] = 1.0
+    # handle
+    canvas[int(0.25 * size) : int(0.4 * size), int(0.35 * size) : int(0.4 * size)] = 1.0
+    canvas[int(0.25 * size) : int(0.4 * size), int(0.6 * size) : int(0.65 * size)] = 1.0
+    canvas[int(0.25 * size) : int(0.28 * size), int(0.35 * size) : int(0.65 * size)] = 1.0
+    return canvas
+
+
+def _ankle_boot(size: int) -> np.ndarray:
+    canvas = _blank(size)
+    canvas[int(0.55 * size) : int(0.78 * size), int(0.1 * size) : int(0.85 * size)] = 1.0
+    canvas[int(0.25 * size) : int(0.55 * size), int(0.55 * size) : int(0.85 * size)] = 1.0
+    return canvas
+
+
+_RENDERERS: Dict[int, Callable[[int], np.ndarray]] = {
+    0: _tshirt,
+    1: _trouser,
+    2: _pullover,
+    3: _dress,
+    4: _coat,
+    5: _sandal,
+    6: _shirt,
+    7: _sneaker,
+    8: _bag,
+    9: _ankle_boot,
+}
+
+
+def render_garment(class_index: int, size: int = 28, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Render one garment silhouette, optionally with per-sample jitter."""
+    if class_index not in _RENDERERS:
+        raise ValueError(f"class_index must be 0-9, got {class_index}")
+    canvas = _RENDERERS[class_index](size)
+    if rng is None:
+        return canvas
+    canvas = ndimage.gaussian_filter(canvas, sigma=rng.uniform(0.3, 0.9))
+    canvas = ndimage.shift(canvas, rng.uniform(-1.5, 1.5, size=2), order=1, mode="constant")
+    texture = rng.normal(scale=0.08, size=canvas.shape)
+    canvas = canvas * (1.0 + texture) + rng.normal(scale=0.04, size=canvas.shape)
+    maximum = canvas.max()
+    if maximum > 0:
+        canvas = canvas / maximum
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def load_fashion(
+    num_train: int = 512,
+    num_test: int = 128,
+    size: int = 28,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Generate a balanced synthetic garment dataset (images in [0, 1])."""
+    rng = np.random.default_rng(seed)
+    total = num_train + num_test
+    labels = np.tile(np.arange(10), total // 10 + 1)[:total]
+    rng.shuffle(labels)
+    images = np.stack([render_garment(int(label), size=size, rng=rng) for label in labels])
+    return (
+        images[:num_train],
+        labels[:num_train].astype(int),
+        images[num_train:],
+        labels[num_train:].astype(int),
+    )

@@ -1,0 +1,68 @@
+"""Dataset split and batching helpers (``lr.utils`` data loaders)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DataSplit:
+    """A train/test split of (inputs, labels) arrays."""
+
+    train_inputs: np.ndarray
+    train_labels: np.ndarray
+    test_inputs: np.ndarray
+    test_labels: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        return int(np.max(self.train_labels)) + 1
+
+    def __post_init__(self) -> None:
+        if len(self.train_inputs) != len(self.train_labels):
+            raise ValueError("train inputs and labels disagree in length")
+        if len(self.test_inputs) != len(self.test_labels):
+            raise ValueError("test inputs and labels disagree in length")
+
+
+def train_test_split(
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> DataSplit:
+    """Shuffle and split a dataset into train/test portions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if len(inputs) != len(labels):
+        raise ValueError("inputs and labels disagree in length")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(inputs))
+    inputs = np.asarray(inputs)[order]
+    labels = np.asarray(labels)[order]
+    cut = int(round(len(inputs) * (1.0 - test_fraction)))
+    cut = min(max(cut, 1), len(inputs) - 1)
+    return DataSplit(inputs[:cut], labels[:cut], inputs[cut:], labels[cut:])
+
+
+def batch_iterator(
+    inputs: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    batch_size: int = 32,
+    shuffle: bool = True,
+    seed: int = 0,
+) -> Iterator[Tuple[np.ndarray, Optional[np.ndarray]]]:
+    """Yield mini-batches, optionally shuffled, as (inputs, labels) pairs."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    count = len(inputs)
+    order = np.random.default_rng(seed).permutation(count) if shuffle else np.arange(count)
+    for start in range(0, count, batch_size):
+        chosen = order[start : start + batch_size]
+        if labels is None:
+            yield inputs[chosen], None
+        else:
+            yield inputs[chosen], labels[chosen]

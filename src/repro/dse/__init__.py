@@ -1,0 +1,44 @@
+"""LightRidge-DSE: architectural design space exploration (Section 4).
+
+* :mod:`~repro.dse.space` -- the DONN design space (diffraction unit size,
+  diffraction distance, wavelength, system size, device precision), grid
+  sweeps, and two design-point evaluators: full emulation training and a
+  fast physics prior based on the maximum half-cone diffraction angle
+  theory.
+* :mod:`~repro.dse.gbr` -- gradient-boosted regression trees implemented
+  from scratch (scikit-learn is unavailable offline), the analytical
+  model family the paper uses.
+* :mod:`~repro.dse.analytical` -- the analytical-model DSE engine: train
+  on swept wavelengths, predict the design space at a new wavelength,
+  recommend design points, and verify with a handful of emulation runs.
+* :mod:`~repro.dse.sensitivity` -- single-parameter sensitivity analysis
+  around the chosen design point (Table 3).
+"""
+
+from repro.dse.space import (
+    DesignPoint,
+    DesignSpace,
+    physics_prior_accuracy,
+    diffraction_spread_units,
+    evaluate_design_point,
+    sweep_design_space,
+)
+from repro.dse.gbr import DecisionTreeRegressor, GradientBoostingRegressor
+from repro.dse.analytical import AnalyticalDSEModel, DSEResult, run_analytical_dse
+from repro.dse.sensitivity import sensitivity_analysis, SensitivityRow
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "physics_prior_accuracy",
+    "diffraction_spread_units",
+    "evaluate_design_point",
+    "sweep_design_space",
+    "DecisionTreeRegressor",
+    "GradientBoostingRegressor",
+    "AnalyticalDSEModel",
+    "DSEResult",
+    "run_analytical_dse",
+    "sensitivity_analysis",
+    "SensitivityRow",
+]

@@ -1,0 +1,200 @@
+"""Gradient-boosted regression trees, implemented from scratch.
+
+The paper's analytical DSE model is a scikit-learn gradient boosting
+regressor (n_estimators=3500, learning_rate=0.2, max_depth=3).  Offline,
+scikit-learn is unavailable, so this module provides a compact but
+faithful implementation: CART regression trees with exact split search on
+(small) continuous feature matrices, boosted on the squared-error loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    """A binary tree node; leaves carry a constant prediction."""
+
+    value: float
+    feature: Optional[int] = None
+    threshold: Optional[float] = None
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class DecisionTreeRegressor:
+    """A CART regression tree minimising squared error.
+
+    Exact split search over every (feature, midpoint) candidate; intended
+    for the small tabular datasets of DSE (hundreds of rows, a handful of
+    features), not for large-scale learning.
+    """
+
+    def __init__(self, max_depth: int = 3, min_samples_leaf: int = 1):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._root: Optional[_Node] = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "DecisionTreeRegressor":
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float).ravel()
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array (rows, columns)")
+        if len(features) != len(targets):
+            raise ValueError("features and targets disagree in length")
+        self._root = self._grow(features, targets, depth=0)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree must be fitted before prediction")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[None, :]
+        return np.array([self._predict_row(row) for row in features])
+
+    # ------------------------------------------------------------------ #
+    def _predict_row(self, row: np.ndarray) -> float:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int) -> _Node:
+        value = float(targets.mean())
+        if depth >= self.max_depth or len(targets) < 2 * self.min_samples_leaf or np.allclose(targets, value):
+            return _Node(value=value)
+        split = self._best_split(features, targets)
+        if split is None:
+            return _Node(value=value)
+        feature, threshold = split
+        mask = features[:, feature] <= threshold
+        left = self._grow(features[mask], targets[mask], depth + 1)
+        right = self._grow(features[~mask], targets[~mask], depth + 1)
+        return _Node(value=value, feature=feature, threshold=threshold, left=left, right=right)
+
+    def _best_split(self, features: np.ndarray, targets: np.ndarray) -> Optional[Tuple[int, float]]:
+        best_gain = 0.0
+        best: Optional[Tuple[int, float]] = None
+        total_sse = float(((targets - targets.mean()) ** 2).sum())
+        for feature in range(features.shape[1]):
+            column = features[:, feature]
+            order = np.argsort(column)
+            sorted_column = column[order]
+            sorted_targets = targets[order]
+            # Prefix sums allow O(n) evaluation of every split position.
+            prefix_sum = np.cumsum(sorted_targets)
+            prefix_sq = np.cumsum(sorted_targets**2)
+            total_sum = prefix_sum[-1]
+            total_sq = prefix_sq[-1]
+            count = len(targets)
+            for index in range(self.min_samples_leaf, count - self.min_samples_leaf + 1):
+                if index < count and sorted_column[index - 1] == sorted_column[index]:
+                    continue  # cannot split between equal feature values
+                if index >= count:
+                    continue
+                left_n = index
+                right_n = count - index
+                left_sum = prefix_sum[index - 1]
+                left_sq = prefix_sq[index - 1]
+                right_sum = total_sum - left_sum
+                right_sq = total_sq - left_sq
+                left_sse = left_sq - left_sum**2 / left_n
+                right_sse = right_sq - right_sum**2 / right_n
+                gain = total_sse - (left_sse + right_sse)
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    threshold = 0.5 * (sorted_column[index - 1] + sorted_column[index])
+                    best = (feature, float(threshold))
+        return best
+
+
+class GradientBoostingRegressor:
+    """Least-squares gradient boosting over CART trees.
+
+    Matches the interface subset the DSE engine needs: ``fit`` and
+    ``predict`` with the paper's hyper-parameters (``n_estimators``,
+    ``learning_rate``, ``max_depth``, ``random_state``).  ``random_state``
+    controls optional row subsampling; with ``subsample=1.0`` the fit is
+    deterministic regardless of the seed.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        subsample: float = 1.0,
+        min_samples_leaf: int = 1,
+        random_state: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.subsample = subsample
+        self.min_samples_leaf = min_samples_leaf
+        self.random_state = random_state
+        self._trees: List[DecisionTreeRegressor] = []
+        self._base_prediction = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GradientBoostingRegressor":
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float).ravel()
+        rng = np.random.default_rng(self.random_state)
+        self._trees = []
+        self._base_prediction = float(targets.mean())
+        current = np.full_like(targets, self._base_prediction)
+        for _ in range(self.n_estimators):
+            residuals = targets - current
+            if self.subsample < 1.0:
+                chosen = rng.random(len(targets)) < self.subsample
+                if chosen.sum() < 2 * self.min_samples_leaf:
+                    chosen = np.ones(len(targets), dtype=bool)
+            else:
+                chosen = np.ones(len(targets), dtype=bool)
+            tree = DecisionTreeRegressor(max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf)
+            tree.fit(features[chosen], residuals[chosen])
+            update = tree.predict(features)
+            current = current + self.learning_rate * update
+            self._trees.append(tree)
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("model must be fitted before prediction")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features[None, :]
+        prediction = np.full(len(features), self._base_prediction)
+        for tree in self._trees:
+            prediction = prediction + self.learning_rate * tree.predict(features)
+        return prediction
+
+    def score(self, features: np.ndarray, targets: np.ndarray) -> float:
+        """Coefficient of determination R^2 (as in scikit-learn)."""
+        targets = np.asarray(targets, dtype=float).ravel()
+        prediction = self.predict(features)
+        residual = float(((targets - prediction) ** 2).sum())
+        total = float(((targets - targets.mean()) ** 2).sum())
+        if total == 0:
+            return 0.0 if residual > 0 else 1.0
+        return 1.0 - residual / total

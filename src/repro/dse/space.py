@@ -1,0 +1,162 @@
+"""The DONN design space and design-point evaluators.
+
+The paper explores two physical architectural parameters under a fixed
+laser wavelength: the diffraction unit size ``d`` and the diffraction
+distance ``D`` (Figure 5), plus the spatial parameters (system size,
+device precision).  Each candidate point can be scored two ways:
+
+* :func:`evaluate_design_point` -- the ground truth: build a DONN with
+  those parameters and train it briefly on a classification task (what
+  the paper does for its 121-point grids, scaled down here).
+* :func:`physics_prior_accuracy` -- a fast analytical surrogate derived
+  from the maximum half-cone diffraction angle theory [Chen et al. 2021]
+  the paper cites: accuracy is high when light from one unit spreads over
+  a moderate neighbourhood of units on the next layer, and collapses when
+  the spread is too small (no inter-unit connectivity) or too large
+  (energy leaves the aperture).  The surrogate is used where the paper
+  uses already-collected emulation data, keeping test and bench runtimes
+  tractable; the Figure 5 bench cross-checks it against real training on
+  a coarse grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.models.config import DONNConfig
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One candidate DONN design and its (predicted or measured) accuracy."""
+
+    wavelength: float
+    unit_size: float
+    distance: float
+    accuracy: float
+
+    def features(self) -> np.ndarray:
+        """Feature vector used by the analytical regression model."""
+        return np.array([self.wavelength, self.unit_size, self.distance], dtype=float)
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A grid over (unit size, distance) at a fixed wavelength.
+
+    The paper sweeps the unit size from 10 to 110 wavelengths and the
+    distance from 0.1 m to 0.6 m on an 11 x 11 grid.
+    """
+
+    wavelength: float
+    unit_sizes_in_wavelengths: Tuple[float, ...] = tuple(np.linspace(10, 110, 11))
+    distances: Tuple[float, ...] = tuple(np.linspace(0.1, 0.6, 11))
+
+    def unit_sizes(self) -> np.ndarray:
+        """Absolute unit sizes in metres."""
+        return np.asarray(self.unit_sizes_in_wavelengths) * self.wavelength
+
+    def grid(self) -> List[Tuple[float, float]]:
+        """All (unit_size, distance) pairs of the grid, row-major."""
+        return [(float(d), float(z)) for d in self.unit_sizes() for z in self.distances]
+
+    @property
+    def num_points(self) -> int:
+        return len(self.unit_sizes_in_wavelengths) * len(self.distances)
+
+
+def diffraction_spread_units(wavelength: float, unit_size: float, distance: float) -> float:
+    """Half-cone diffraction spread at the next layer, in units of ``unit_size``.
+
+    A single diffraction unit of size ``d`` diffracts light into a cone of
+    half angle ``theta`` with ``sin(theta) ~= lambda / (2 d)``; after a
+    distance ``D`` the illuminated radius is ``D tan(theta)``, i.e. the
+    light from one unit reaches roughly ``D tan(theta) / d`` neighbouring
+    units.  This connectivity number is the quantity the half-cone theory
+    says must be "right" for a DONN to learn.
+    """
+    if unit_size <= 0 or distance <= 0 or wavelength <= 0:
+        raise ValueError("wavelength, unit_size and distance must be positive")
+    sine = min(1.0, wavelength / (2.0 * unit_size))
+    theta = np.arcsin(sine)
+    spread = distance * np.tan(theta)
+    return float(spread / unit_size)
+
+
+def physics_prior_accuracy(
+    wavelength: float,
+    unit_size: float,
+    distance: float,
+    system_size: int = 200,
+    best_accuracy: float = 0.97,
+    floor_accuracy: float = 0.10,
+    optimal_spread: float = 30.0,
+    tolerance_decades: float = 0.55,
+) -> float:
+    """Analytical accuracy surrogate over the (lambda, d, D) design space.
+
+    The surrogate is a log-normal bump in the connectivity number returned
+    by :func:`diffraction_spread_units`, clipped from below at chance
+    level, and attenuated when the spread exceeds the system aperture
+    (light walks off the edge of the simulated window).
+    """
+    spread = diffraction_spread_units(wavelength, unit_size, distance)
+    if spread <= 0:
+        return floor_accuracy
+    deviation = np.log10(spread / optimal_spread) / tolerance_decades
+    score = np.exp(-0.5 * deviation**2)
+    # Penalise spreads so large that the cone leaves the simulated aperture.
+    aperture_units = system_size / 2.0
+    if spread > aperture_units:
+        score *= aperture_units / spread
+    return float(floor_accuracy + (best_accuracy - floor_accuracy) * score)
+
+
+def evaluate_design_point(
+    config: DONNConfig,
+    train_images: np.ndarray,
+    train_labels: np.ndarray,
+    test_images: np.ndarray,
+    test_labels: np.ndarray,
+    epochs: int = 2,
+    learning_rate: float = 0.3,
+    batch_size: int = 32,
+    amplitude_target: float = 1.0,
+) -> float:
+    """Ground-truth evaluation: train a DONN with this config and report accuracy."""
+    # Imported lazily to keep the DSE package import-light.
+    from repro.baselines.regularization import calibrate_amplitude_factor
+    from repro.models.donn import DONN
+    from repro.train.loop import Trainer
+
+    model = DONN(config)
+    gamma = calibrate_amplitude_factor(model, train_images[: min(8, len(train_images))], target=amplitude_target)
+    model = DONN(config.with_updates(amplitude_factor=gamma))
+    trainer = Trainer(model, num_classes=config.num_classes, learning_rate=learning_rate, batch_size=batch_size)
+    result = trainer.fit(train_images, train_labels, epochs=epochs, test_images=test_images, test_labels=test_labels)
+    return result.final_test_accuracy
+
+
+def sweep_design_space(
+    space: DesignSpace,
+    evaluator: Optional[Callable[[float, float, float], float]] = None,
+    system_size: int = 200,
+) -> List[DesignPoint]:
+    """Score every grid point of a design space.
+
+    ``evaluator(wavelength, unit_size, distance) -> accuracy`` defaults to
+    the physics prior; pass a training-based closure for ground truth.
+    """
+    evaluator = evaluator or (
+        lambda wl, d, z: physics_prior_accuracy(wl, d, z, system_size=system_size)
+    )
+    points = []
+    for unit_size, distance in space.grid():
+        accuracy = float(evaluator(space.wavelength, unit_size, distance))
+        points.append(
+            DesignPoint(wavelength=space.wavelength, unit_size=unit_size, distance=distance, accuracy=accuracy)
+        )
+    return points

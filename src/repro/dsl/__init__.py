@@ -1,0 +1,21 @@
+"""User-facing domain-specific language (the ``lightridge``-style front end).
+
+* :mod:`~repro.dsl.builder` -- declarative specs (plain dictionaries) ->
+  configured models, so a DONN system can be described without touching
+  the optics modules directly.
+* :mod:`~repro.dsl.flow` -- the end-to-end agile design flow of Figure 3:
+  DSE, regularized/codesign training, deployment-file generation and a
+  final hardware-emulation validation, driven from one call.
+"""
+
+from repro.dsl.builder import build_config, build_donn, build_detector, spec_from_config
+from repro.dsl.flow import DesignFlow, DesignFlowResult
+
+__all__ = [
+    "build_config",
+    "build_donn",
+    "build_detector",
+    "spec_from_config",
+    "DesignFlow",
+    "DesignFlowResult",
+]

@@ -1,0 +1,98 @@
+"""Declarative model construction from plain-dictionary specs.
+
+The paper's DSL builds DONNs from a handful of named hyper-parameters
+(``sys_size``, ``pixel_size``, ``distance``, ``wavelength``, ``approx``,
+``num_layers``, detector layout, device levels).  ``build_donn`` accepts
+exactly that vocabulary so example scripts and tests read like the
+paper's listings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.codesign.device import DeviceProfile, ideal_profile, slm_profile
+from repro.layers.detector import Detector, DetectorRegion
+from repro.models.config import DONNConfig
+from repro.models.donn import DONN
+
+_CONFIG_KEYS = {
+    "sys_size",
+    "pixel_size",
+    "distance",
+    "wavelength",
+    "num_layers",
+    "num_classes",
+    "approx",
+    "amplitude_factor",
+    "det_size",
+    "device_levels",
+    "codesign_temperature",
+    "pad_factor",
+    "seed",
+}
+
+
+def build_config(spec: Dict) -> DONNConfig:
+    """Build a :class:`DONNConfig` from a spec dict, rejecting unknown keys."""
+    config_keys = {key: value for key, value in spec.items() if key in _CONFIG_KEYS}
+    unknown = set(spec) - _CONFIG_KEYS - {"detector", "device", "codesign"}
+    if unknown:
+        raise ValueError(f"unknown spec keys: {sorted(unknown)}")
+    return DONNConfig(**config_keys)
+
+
+def build_detector(config: DONNConfig, detector_spec: Optional[Dict] = None) -> Detector:
+    """Build a detector from an optional spec (explicit regions or layout)."""
+    grid = config.grid
+    if not detector_spec:
+        return Detector(grid, num_classes=config.num_classes, det_size=config.det_size)
+    if "regions" in detector_spec:
+        regions = [DetectorRegion(**region) for region in detector_spec["regions"]]
+        return Detector(grid, regions=regions)
+    if "x_loc" in detector_spec and "y_loc" in detector_spec:
+        return Detector(
+            grid,
+            x_loc=detector_spec["x_loc"],
+            y_loc=detector_spec["y_loc"],
+            det_size=detector_spec.get("det_size", config.det_size),
+        )
+    return Detector(grid, num_classes=detector_spec.get("num_classes", config.num_classes), det_size=config.det_size)
+
+
+def _build_device(spec: Optional[Dict], config: DONNConfig) -> Optional[DeviceProfile]:
+    if spec is None:
+        return None
+    kind = spec.get("kind", "slm")
+    levels = spec.get("levels", config.device_levels)
+    if kind == "slm":
+        return slm_profile(num_levels=levels, seed=spec.get("seed"))
+    if kind == "ideal":
+        return ideal_profile(num_levels=levels)
+    raise ValueError(f"unknown device kind {kind!r}")
+
+
+def build_donn(spec: Dict, rng: Optional[np.random.Generator] = None) -> DONN:
+    """Build a complete DONN system from a declarative spec.
+
+    Example
+    -------
+    >>> model = build_donn({
+    ...     "sys_size": 64, "pixel_size": 36e-6, "distance": 0.1,
+    ...     "wavelength": 532e-9, "num_layers": 3, "num_classes": 10,
+    ...     "codesign": True, "device": {"kind": "slm", "levels": 64},
+    ... })
+    """
+    config = build_config(spec)
+    detector = build_detector(config, spec.get("detector"))
+    device = _build_device(spec.get("device"), config) if spec.get("codesign") or spec.get("device") else None
+    if spec.get("codesign") and device is None:
+        device = slm_profile(num_levels=config.device_levels)
+    return DONN(config, device_profile=device if spec.get("codesign") else None, detector=detector, rng=rng)
+
+
+def spec_from_config(config: DONNConfig) -> Dict:
+    """Round-trip a config back to a spec dictionary."""
+    return config.to_dict()

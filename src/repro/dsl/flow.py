@@ -1,0 +1,169 @@
+"""The end-to-end agile design flow of Figure 3.
+
+``DesignFlow`` strings together the framework stages the paper automates:
+
+1. **DSE** -- pick diffraction distance / unit size for the target
+   wavelength with the analytical DSE engine;
+2. **raw training** -- train the regularized emulation model;
+3. **codesign training** -- continue with the hardware-aware
+   (Gumbel-Softmax) layers for the chosen device;
+4. **fabrication dump** -- emit SLM voltage maps / mask thicknesses;
+5. **deployment validation** -- run the emulated-hardware testbench and
+   report the out-of-box accuracy and simulation/hardware correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.regularization import build_regularized_donn
+from repro.codesign.device import DeviceProfile, slm_profile
+from repro.dse.analytical import DSEResult, run_analytical_dse
+from repro.dse.space import physics_prior_accuracy
+from repro.hardware.deploy import DeploymentReport, HardwareTestbench, dump_slm_configuration, to_system
+from repro.models.config import DONNConfig
+from repro.models.donn import DONN
+from repro.train.loop import Trainer, TrainingResult
+
+
+@dataclass
+class DesignFlowResult:
+    """Everything produced by one end-to-end design-flow run."""
+
+    config: DONNConfig
+    dse_result: Optional[DSEResult]
+    raw_training: TrainingResult
+    codesign_training: Optional[TrainingResult]
+    deployment: Optional[DeploymentReport]
+    fabrication_files: List[Path] = field(default_factory=list)
+
+
+class DesignFlow:
+    """Drive the LightRidge design flow for a classification task.
+
+    Parameters
+    ----------
+    base_config:
+        Starting configuration; DSE may update ``distance`` and
+        ``pixel_size``.
+    device_profile:
+        Target hardware for codesign training and deployment (default: a
+        synthetic LC2012-style SLM).
+    run_dse:
+        Whether to run the analytical DSE stage (stage 1 of Figure 3).
+    """
+
+    def __init__(
+        self,
+        base_config: DONNConfig,
+        device_profile: Optional[DeviceProfile] = None,
+        run_dse: bool = True,
+        dse_training_wavelengths: Sequence[float] = (432e-9, 632e-9),
+        seed: int = 0,
+    ):
+        self.base_config = base_config
+        self.device_profile = device_profile or slm_profile(num_levels=base_config.device_levels)
+        self.run_dse = run_dse
+        self.dse_training_wavelengths = tuple(dse_training_wavelengths)
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def explore(self) -> Optional[DSEResult]:
+        """Stage 1: analytical DSE at the target wavelength."""
+        if not self.run_dse:
+            return None
+        return run_analytical_dse(
+            training_wavelengths=self.dse_training_wavelengths,
+            target_wavelength=self.base_config.wavelength,
+            evaluator=lambda wl, d, z: physics_prior_accuracy(wl, d, z, system_size=self.base_config.sys_size),
+        )
+
+    def _config_from_dse(self, dse_result: Optional[DSEResult]) -> DONNConfig:
+        if dse_result is None:
+            return self.base_config
+        best = dse_result.best_point
+        return self.base_config.with_updates(pixel_size=best.unit_size, distance=best.distance)
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        train_images: np.ndarray,
+        train_labels: np.ndarray,
+        test_images: np.ndarray,
+        test_labels: np.ndarray,
+        raw_epochs: int = 3,
+        codesign_epochs: int = 2,
+        learning_rate: float = 0.3,
+        batch_size: int = 32,
+        fabrication_dir: Optional[Path] = None,
+        codesign: bool = True,
+        validate_deployment: bool = True,
+    ) -> DesignFlowResult:
+        """Run stages 1-5 and return every artefact."""
+        dse_result = self.explore()
+        config = self._config_from_dse(dse_result)
+
+        # Stage 2: raw (regularized, continuous-phase) training.
+        raw_model = build_regularized_donn(config, train_images[: min(8, len(train_images))])
+        config = raw_model.config
+        trainer = Trainer(raw_model, num_classes=config.num_classes, learning_rate=learning_rate, batch_size=batch_size, seed=self.seed)
+        raw_training = trainer.fit(train_images, train_labels, epochs=raw_epochs, test_images=test_images, test_labels=test_labels)
+
+        codesign_training = None
+        deployed_model = raw_model
+        if codesign:
+            # Stage 3: hardware-aware codesign training over device levels.
+            codesign_model = DONN(config, device_profile=self.device_profile)
+            self._warm_start_codesign(codesign_model, raw_model)
+            codesign_trainer = Trainer(
+                codesign_model,
+                num_classes=config.num_classes,
+                learning_rate=learning_rate,
+                batch_size=batch_size,
+                seed=self.seed,
+            )
+            codesign_training = codesign_trainer.fit(
+                train_images, train_labels, epochs=codesign_epochs, test_images=test_images, test_labels=test_labels
+            )
+            deployed_model = codesign_model
+
+        # Stage 4: fabrication / configuration dump.
+        fabrication_files: List[Path] = []
+        if fabrication_dir is not None:
+            records = to_system(deployed_model, self.device_profile)
+            fabrication_files = dump_slm_configuration(records, fabrication_dir)
+
+        # Stage 5: deployment validation on the emulated hardware.
+        deployment = None
+        if validate_deployment:
+            testbench = HardwareTestbench(deployed_model, profile=self.device_profile, seed=self.seed)
+            deployment = testbench.report(test_images, test_labels)
+
+        return DesignFlowResult(
+            config=config,
+            dse_result=dse_result,
+            raw_training=raw_training,
+            codesign_training=codesign_training,
+            deployment=deployment,
+            fabrication_files=fabrication_files,
+        )
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _warm_start_codesign(codesign_model: DONN, raw_model: DONN) -> None:
+        """Initialise codesign logits from the raw model's trained phases.
+
+        Each unit's logit vector is seeded so the level nearest the trained
+        continuous phase starts with the highest probability.
+        """
+        profile = codesign_model.device_profile
+        if profile is None:
+            return
+        for codesign_layer, raw_layer in zip(codesign_model.diffractive_layers, raw_model.diffractive_layers):
+            phase = raw_layer.phase_values()
+            distance = np.angle(np.exp(1j * (phase[..., None] - profile.phases)))
+            codesign_layer.logits.data = -np.abs(distance) * 4.0

@@ -1,0 +1,46 @@
+"""Hardware deployment backend (Table 2, "Hardware deployment").
+
+* :mod:`~repro.hardware.slm` -- spatial-light-modulator model: maps trained
+  phases to control voltages and emulates the physical modulation
+  (including fabrication variation), i.e. the "experiment" side of the
+  Figure 6 correlation study.
+* :mod:`~repro.hardware.camera` -- CMOS detector model with shot/read
+  noise and ADC quantisation.
+* :mod:`~repro.hardware.deploy` -- ``to_system``-style exporters that dump
+  fabrication/configuration files for SLM and 3D-printed-mask systems, and
+  a :class:`HardwareTestbench` that runs a trained DONN on the emulated
+  hardware.
+* :mod:`~repro.hardware.onchip` -- monolithic on-chip integration
+  specification (Section 5.5 case study).
+* :mod:`~repro.hardware.energy` -- analytical energy/throughput model for
+  Table 4 (fps/Watt of DONN vs. digital platforms).
+"""
+
+from repro.hardware.slm import SLM, SLMConfiguration
+from repro.hardware.camera import CMOSCamera
+from repro.hardware.deploy import (
+    HardwareTestbench,
+    deployment_report,
+    dump_slm_configuration,
+    dump_mask_thickness,
+    to_system,
+)
+from repro.hardware.onchip import OnChipIntegrationSpec, design_onchip_system
+from repro.hardware.energy import PlatformPowerModel, DONNPowerModel, energy_efficiency_table, DIGITAL_PLATFORMS
+
+__all__ = [
+    "SLM",
+    "SLMConfiguration",
+    "CMOSCamera",
+    "HardwareTestbench",
+    "deployment_report",
+    "dump_slm_configuration",
+    "dump_mask_thickness",
+    "to_system",
+    "OnChipIntegrationSpec",
+    "design_onchip_system",
+    "PlatformPowerModel",
+    "DONNPowerModel",
+    "energy_efficiency_table",
+    "DIGITAL_PLATFORMS",
+]

@@ -1,0 +1,63 @@
+"""CMOS camera / photon detector model.
+
+The prototype reads the diffraction pattern with a Thorlabs CS165MU1
+camera; practically this means shot noise, read noise and ADC
+quantisation on top of the ideal intensity pattern.  The camera model is
+the second half of the "physical system" used to emulate hardware
+measurements (Figure 6) and the power numbers feed Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class CMOSCamera:
+    """An intensity detector with noise and quantisation.
+
+    Parameters
+    ----------
+    bit_depth:
+        ADC resolution; patterns are quantised to ``2**bit_depth`` levels
+        of the full scale.
+    shot_noise_scale:
+        Standard deviation of multiplicative (photon) noise relative to
+        the signal level.
+    read_noise:
+        Additive Gaussian noise standard deviation relative to full scale.
+    power_watts, max_fps:
+        Electrical characteristics used by the energy model (Table 4
+        assumes ~1 W at 1000 fps for the 200x200 read-out).
+    """
+
+    bit_depth: int = 10
+    shot_noise_scale: float = 0.01
+    read_noise: float = 0.002
+    power_watts: float = 1.0
+    max_fps: float = 1000.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.bit_depth <= 0:
+            raise ValueError("bit_depth must be positive")
+        self._rng = np.random.default_rng(self.seed)
+
+    def capture(self, intensity: np.ndarray) -> np.ndarray:
+        """Convert an ideal intensity pattern into a digitised camera frame.
+
+        The returned frame is normalised to [0, 1] full scale.
+        """
+        intensity = np.asarray(intensity, dtype=float)
+        peak = intensity.max()
+        if peak <= 0:
+            return np.zeros_like(intensity)
+        signal = intensity / peak
+        noisy = signal * (1.0 + self._rng.normal(scale=self.shot_noise_scale, size=signal.shape))
+        noisy = noisy + self._rng.normal(scale=self.read_noise, size=signal.shape)
+        noisy = np.clip(noisy, 0.0, 1.0)
+        levels = 2**self.bit_depth - 1
+        return np.round(noisy * levels) / levels

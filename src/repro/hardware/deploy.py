@@ -1,0 +1,201 @@
+"""Deployment backend: ``to_system``-style exports and a hardware testbench.
+
+``lr.model.to_system`` in the paper produces device-specific parameters
+from a trained model: control-voltage arrays for SLM systems, thickness
+arrays for 3D-printed THz masks.  :class:`HardwareTestbench` then runs a
+trained DONN *through the emulated hardware* (SLM quantisation +
+fabrication variation + camera noise) so the out-of-box deployment
+accuracy and the simulation/experiment correlation (Figures 1 and 6) can
+be measured without physical optics.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd import Tensor, no_grad
+from repro.codesign.device import DeviceProfile
+from repro.codesign.noise import FabricationVariation
+from repro.hardware.camera import CMOSCamera
+from repro.hardware.slm import SLM, SLMConfiguration
+from repro.layers.diffractive import CodesignDiffractiveLayer, DiffractiveLayer
+from repro.models.donn import DONN
+from repro.optics.wave import correlation
+from repro.train.metrics import accuracy, prediction_confidence
+
+
+# --------------------------------------------------------------------------- #
+# Fabrication / configuration exports
+# --------------------------------------------------------------------------- #
+def to_system(model: DONN, profile: DeviceProfile) -> List[Dict]:
+    """Produce device-specific per-layer deployment records.
+
+    Each record carries the level index map and the control values
+    (voltage or thickness) for one diffractive layer -- what would be
+    loaded on an SLM or sent to the printer.
+    """
+    records = []
+    for index, layer in enumerate(model.diffractive_layers):
+        if isinstance(layer, CodesignDiffractiveLayer):
+            indices = layer.hard_level_indices()
+        else:
+            indices = profile.nearest_level(layer.phase_values())
+        record = {
+            "layer": index,
+            "device": profile.name,
+            "level_indices": indices,
+            "control_values": profile.control_for_levels(indices) if profile.control_values is not None else None,
+            "control_unit": profile.control_unit,
+            "phases": profile.phases[indices],
+        }
+        records.append(record)
+    return records
+
+
+def dump_slm_configuration(records: Sequence[Dict], directory: Union[str, Path]) -> List[Path]:
+    """Write voltage maps (one ``.npy`` + ``.json`` metadata per layer)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for record in records:
+        stem = directory / f"layer_{record['layer']:02d}_slm"
+        np.save(stem.with_suffix(".npy"), record["control_values"])
+        metadata = {
+            "layer": record["layer"],
+            "device": record["device"],
+            "control_unit": record["control_unit"],
+            "shape": list(np.asarray(record["control_values"]).shape),
+        }
+        stem.with_suffix(".json").write_text(json.dumps(metadata, indent=2))
+        written.extend([stem.with_suffix(".npy"), stem.with_suffix(".json")])
+    return written
+
+
+def dump_mask_thickness(records: Sequence[Dict], directory: Union[str, Path]) -> List[Path]:
+    """Write 3D-print thickness maps for THz mask fabrication."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for record in records:
+        if record["control_unit"] != "m":
+            raise ValueError("mask thickness dump requires a thickness-calibrated device profile")
+        stem = directory / f"layer_{record['layer']:02d}_thickness"
+        np.save(stem.with_suffix(".npy"), record["control_values"])
+        written.append(stem.with_suffix(".npy"))
+    return written
+
+
+# --------------------------------------------------------------------------- #
+# Emulated-hardware testbench
+# --------------------------------------------------------------------------- #
+@dataclass
+class DeploymentReport:
+    """Summary of running a trained model on the emulated hardware."""
+
+    simulation_accuracy: float
+    hardware_accuracy: float
+    pattern_correlation: float
+    confidence: float
+
+    @property
+    def accuracy_gap(self) -> float:
+        return self.simulation_accuracy - self.hardware_accuracy
+
+
+class HardwareTestbench:
+    """Run a trained DONN on emulated physical hardware.
+
+    The testbench replaces each trained layer's ideal modulation with the
+    modulation an SLM programmed from that layer would really apply
+    (nearest-level quantisation unless the layer was codesign-trained,
+    plus frozen fabrication variation), propagates with the same physics
+    kernels, and reads the detector through a noisy CMOS camera.
+    """
+
+    def __init__(
+        self,
+        model: DONN,
+        profile: Optional[DeviceProfile] = None,
+        variation: Optional[FabricationVariation] = None,
+        camera: Optional[CMOSCamera] = None,
+        seed: int = 0,
+    ):
+        self.model = model
+        self.profile = profile or model.device_profile
+        if self.profile is None:
+            raise ValueError("a device profile is required to deploy the model")
+        self.variation = variation or FabricationVariation(amplitude_sigma=0.02, phase_sigma=0.05, seed=seed)
+        self.camera = camera or CMOSCamera(seed=seed)
+        grid = model.config.grid
+        self.slms = [
+            SLM(grid, profile=self.profile, variation=self.variation, name=f"SLM-{i}")
+            for i in range(model.num_layers)
+        ]
+        self._configurations = self._program_layers()
+
+    def _program_layers(self) -> List[SLMConfiguration]:
+        configurations = []
+        for slm, layer in zip(self.slms, self.model.diffractive_layers):
+            if isinstance(layer, CodesignDiffractiveLayer):
+                configurations.append(slm.program_levels(layer.hard_level_indices()))
+            else:
+                configurations.append(slm.program_phase(layer.phase_values()))
+        return configurations
+
+    # ------------------------------------------------------------------ #
+    def hardware_detector_pattern(self, images: np.ndarray) -> np.ndarray:
+        """Camera frame(s) produced by the emulated physical system."""
+        with no_grad():
+            field = self.model.encode(images)
+            for layer, slm, configuration in zip(self.model.diffractive_layers, self.slms, self._configurations):
+                diffracted = layer.propagator(field)
+                modulation = slm.applied_modulation(configuration) * self.model.config.amplitude_factor
+                field = diffracted * Tensor(modulation)
+            field = self.model.final_propagator(field)
+            pattern = field.abs2().data.real
+        batched = pattern if pattern.ndim == 3 else pattern[None]
+        frames = np.stack([self.camera.capture(frame) for frame in batched])
+        return frames if pattern.ndim == 3 else frames[0]
+
+    def hardware_logits(self, images: np.ndarray) -> np.ndarray:
+        """Per-class collected intensities measured by the emulated hardware."""
+        frames = self.hardware_detector_pattern(images)
+        frames = frames if frames.ndim == 3 else frames[None]
+        with no_grad():
+            logits = self.model.detector.read(Tensor(frames))
+        return np.asarray(logits.data.real)
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        return self.hardware_logits(images).argmax(axis=-1)
+
+    # ------------------------------------------------------------------ #
+    def report(self, images: np.ndarray, labels: np.ndarray) -> DeploymentReport:
+        """Compare in-simulation and on-hardware behaviour (Figures 1, 6)."""
+        with no_grad():
+            sim_logits = np.asarray(self.model(images).data.real)
+            sim_pattern = np.asarray(self.model.detector_pattern(images[:1]).data.real)[0]
+        hw_logits = self.hardware_logits(images)
+        hw_pattern = self.hardware_detector_pattern(images[:1])[0]
+        return DeploymentReport(
+            simulation_accuracy=accuracy(sim_logits, labels),
+            hardware_accuracy=accuracy(hw_logits, labels),
+            pattern_correlation=correlation(sim_pattern, hw_pattern),
+            confidence=prediction_confidence(hw_logits),
+        )
+
+
+def deployment_report(
+    model: DONN,
+    images: np.ndarray,
+    labels: np.ndarray,
+    profile: Optional[DeviceProfile] = None,
+    seed: int = 0,
+) -> DeploymentReport:
+    """Convenience wrapper: build a testbench and produce a report."""
+    testbench = HardwareTestbench(model, profile=profile, seed=seed)
+    return testbench.report(images, labels)

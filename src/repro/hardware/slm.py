@@ -1,0 +1,107 @@
+"""Spatial light modulator (SLM) model.
+
+The physical prototype (Section 5.1) realises each diffractive layer with
+a HOLOEYE LC2012 twisted-nematic SLM: the trained phase per pixel is
+translated to a control voltage through the measured response curve, and
+the device applies that phase only approximately (discrete levels,
+per-pixel fabrication variation, weak amplitude coupling).  This module
+provides both directions: *programming* (phase -> voltage) and *emulating*
+(what modulation the programmed device actually applies), which is what
+lets the reproduction stage the simulation-vs-experiment comparison of
+Figure 6 without a lab.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.codesign.device import DeviceProfile, slm_profile
+from repro.codesign.noise import FabricationVariation
+from repro.optics.grid import SpatialGrid
+
+
+@dataclass
+class SLMConfiguration:
+    """The programming of one SLM: per-pixel level indices and voltages."""
+
+    name: str
+    level_indices: np.ndarray
+    voltages: np.ndarray
+    phases: np.ndarray
+
+    @property
+    def shape(self):
+        return self.level_indices.shape
+
+
+class SLM:
+    """A reconfigurable phase modulator with a measured discrete response.
+
+    Parameters
+    ----------
+    grid:
+        Pixel grid of the panel.
+    profile:
+        Measured device profile (defaults to a synthetic LC2012-style
+        calibration with 256 levels covering ~2 pi).
+    variation:
+        Frozen per-pixel fabrication variation; ``None`` for an ideal panel.
+    """
+
+    def __init__(
+        self,
+        grid: SpatialGrid,
+        profile: Optional[DeviceProfile] = None,
+        variation: Optional[FabricationVariation] = None,
+        name: str = "SLM",
+    ):
+        self.grid = grid
+        self.profile = profile or slm_profile()
+        self.name = name
+        if variation is None:
+            self._pixel_error = np.ones(grid.shape, dtype=complex)
+        else:
+            self._pixel_error = variation.sample(grid.shape)
+
+    # ------------------------------------------------------------------ #
+    # Programming
+    # ------------------------------------------------------------------ #
+    def program_phase(self, phase: np.ndarray) -> SLMConfiguration:
+        """Quantise a target phase pattern to device levels and voltages."""
+        phase = np.asarray(phase, dtype=float)
+        if phase.shape != self.grid.shape:
+            raise ValueError(f"phase shape {phase.shape} does not match SLM grid {self.grid.shape}")
+        indices = self.profile.nearest_level(phase)
+        voltages = self.profile.control_for_levels(indices)
+        applied = self.profile.phases[indices]
+        return SLMConfiguration(name=self.name, level_indices=indices, voltages=voltages, phases=applied)
+
+    def program_levels(self, level_indices: np.ndarray) -> SLMConfiguration:
+        """Program explicit level indices (codesign-trained layers)."""
+        indices = np.asarray(level_indices, dtype=int)
+        if indices.shape != self.grid.shape:
+            raise ValueError(f"level shape {indices.shape} does not match SLM grid {self.grid.shape}")
+        if indices.min() < 0 or indices.max() >= self.profile.num_levels:
+            raise ValueError("level indices out of range for this device profile")
+        voltages = self.profile.control_for_levels(indices)
+        applied = self.profile.phases[indices]
+        return SLMConfiguration(name=self.name, level_indices=indices, voltages=voltages, phases=applied)
+
+    # ------------------------------------------------------------------ #
+    # Emulated physical behaviour
+    # ------------------------------------------------------------------ #
+    def applied_modulation(self, configuration: SLMConfiguration) -> np.ndarray:
+        """Complex modulation the physical panel applies for a programming.
+
+        Includes the level's amplitude transmission and the frozen
+        per-pixel fabrication error.
+        """
+        responses = self.profile.complex_responses()[configuration.level_indices]
+        return responses * self._pixel_error
+
+    def modulate(self, field: np.ndarray, configuration: SLMConfiguration) -> np.ndarray:
+        """Apply the panel to an incident complex field (plain numpy)."""
+        return np.asarray(field) * self.applied_modulation(configuration)

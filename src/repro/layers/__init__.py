@@ -1,0 +1,36 @@
+"""Model-level DONN building blocks (``lr.layers`` in the paper's DSL).
+
+* :class:`~repro.layers.diffractive.DiffractiveLayer` -- trainable phase
+  modulation + diffraction, the ``lr.layers.diffractlayer_raw`` module.
+* :class:`~repro.layers.diffractive.CodesignDiffractiveLayer` -- the
+  hardware-aware ``lr.layers.diffractlayer`` that trains directly over the
+  device's discrete phase levels via Gumbel-Softmax (Section 3.2).
+* :class:`~repro.layers.detector.Detector` -- intensity read-out with
+  per-class detector regions (``lr.layers.detector``).
+* :mod:`~repro.layers.encoding` -- ``data_to_cplex`` input encoding.
+* :class:`~repro.layers.skip.OpticalSkipConnection` and
+  :class:`~repro.layers.normalization.PlaneNorm` -- the architectural
+  pieces of the segmentation DONN (Section 5.6.2).
+"""
+
+from repro.layers.diffractive import DiffractiveLayer, CodesignDiffractiveLayer
+from repro.layers.detector import Detector, DetectorRegion, grid_region_layout
+from repro.layers.encoding import data_to_cplex, resize_images, binarize_images
+from repro.layers.skip import OpticalSkipConnection
+from repro.layers.normalization import PlaneNorm
+from repro.layers.nonlinearity import SaturableAbsorber, KerrPhaseLayer
+
+__all__ = [
+    "DiffractiveLayer",
+    "CodesignDiffractiveLayer",
+    "Detector",
+    "DetectorRegion",
+    "grid_region_layout",
+    "data_to_cplex",
+    "resize_images",
+    "binarize_images",
+    "OpticalSkipConnection",
+    "PlaneNorm",
+    "SaturableAbsorber",
+    "KerrPhaseLayer",
+]

@@ -1,0 +1,85 @@
+"""Input encoding utilities (``lr.train.utils.data_to_cplex``).
+
+The paper encodes each input image on the intensity/amplitude of the laser
+beam with an initially flat phase (Section 3.1), after extending the
+28x28 source image to the system resolution (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.optics.grid import SpatialGrid
+
+ArrayOrTensor = Union[np.ndarray, Tensor]
+
+
+def _as_array(images: ArrayOrTensor) -> np.ndarray:
+    return images.data if isinstance(images, Tensor) else np.asarray(images, dtype=float)
+
+
+def resize_images(images: ArrayOrTensor, size: int) -> np.ndarray:
+    """Nearest-neighbour resize of a batch ``(B, H, W)`` to ``(B, size, size)``.
+
+    The resized image is centred on the grid: the paper extends 28x28
+    digits to the 200x200 SLM plane by upscaling and zero padding.
+    """
+    array = _as_array(images)
+    single = array.ndim == 2
+    if single:
+        array = array[None]
+    batch, height, width = array.shape
+    scale = max(1, size // max(height, width))
+    up_h, up_w = height * scale, width * scale
+    upscaled = np.repeat(np.repeat(array, scale, axis=1), scale, axis=2)
+    if up_h > size or up_w > size:
+        # Downsample by striding if the source is larger than the target.
+        stride_h = int(np.ceil(up_h / size))
+        stride_w = int(np.ceil(up_w / size))
+        upscaled = upscaled[:, ::stride_h, ::stride_w]
+        up_h, up_w = upscaled.shape[1], upscaled.shape[2]
+    canvas = np.zeros((batch, size, size), dtype=float)
+    top = (size - up_h) // 2
+    left = (size - up_w) // 2
+    canvas[:, top : top + up_h, left : left + up_w] = upscaled
+    return canvas[0] if single else canvas
+
+
+def binarize_images(images: ArrayOrTensor, threshold: float = 0.5) -> np.ndarray:
+    """Binarise images as done for the hardware prototype inputs (Section 5.1)."""
+    array = _as_array(images)
+    return (array >= threshold).astype(float)
+
+
+def data_to_cplex(
+    images: ArrayOrTensor,
+    grid: Optional[SpatialGrid] = None,
+    size: Optional[int] = None,
+    amplitude_factor: float = 1.0,
+    phase: float = 0.0,
+) -> Tensor:
+    """Encode a batch of intensity images as complex input wavefields.
+
+    Parameters
+    ----------
+    images:
+        Real array ``(B, H, W)`` or ``(H, W)`` with non-negative values.
+    grid, size:
+        Target system resolution; if given and different from the image
+        size, images are resized with :func:`resize_images`.
+    amplitude_factor:
+        Global amplitude scale applied to the encoded wave (a training
+        hyper-parameter exposed by the DSL).
+    phase:
+        Initial phase of the wave; the paper uses 0.
+    """
+    array = _as_array(images)
+    target = size or (grid.size if grid is not None else None)
+    if target is not None and array.shape[-1] != target:
+        array = resize_images(array, target)
+    amplitude = np.sqrt(np.clip(array, 0.0, None)) * amplitude_factor
+    field = amplitude * np.exp(1j * phase)
+    return Tensor(field.astype(complex))

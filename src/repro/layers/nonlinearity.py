@@ -1,0 +1,68 @@
+"""Optical nonlinearities (the paper's Section 6 extension).
+
+The conclusion of the paper lists all-optical nonlinearity -- realised with
+nonlinear optical materials such as saturable absorbers or Kerr media -- as
+the main missing ingredient for more expressive DONNs.  This module provides
+differentiable models of the two standard thin-film nonlinearities so that
+extended architectures can be explored in emulation today:
+
+* :class:`SaturableAbsorber` -- intensity-dependent transmission
+  ``T(I) = T_lin + (1 - T_lin) * I / (I + I_sat)``: weak light is absorbed,
+  strong light passes, which acts like a smooth ReLU on the optical field.
+* :class:`KerrPhaseLayer` -- intensity-dependent phase
+  ``phi(I) = n2_coefficient * I``: self-phase modulation, the optical
+  analogue of a multiplicative interaction.
+
+Both act point-wise on the complex field and are therefore drop-in layers
+for the :class:`~repro.models.donn.DONN` stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Module, Tensor, ops
+
+
+class SaturableAbsorber(Module):
+    """Intensity-dependent transmission (a smooth all-optical activation).
+
+    Parameters
+    ----------
+    saturation_intensity:
+        Intensity scale ``I_sat`` at which the absorber bleaches; at
+        ``I = I_sat`` the excess transmission reaches half its range.
+    linear_transmission:
+        Transmission for vanishing intensity (``0 < T_lin <= 1``).
+    """
+
+    def __init__(self, saturation_intensity: float = 1.0, linear_transmission: float = 0.1):
+        super().__init__()
+        if saturation_intensity <= 0:
+            raise ValueError("saturation_intensity must be positive")
+        if not 0.0 < linear_transmission <= 1.0:
+            raise ValueError("linear_transmission must be in (0, 1]")
+        self.saturation_intensity = float(saturation_intensity)
+        self.linear_transmission = float(linear_transmission)
+
+    def transmission(self, intensity: Tensor) -> Tensor:
+        """Amplitude transmission factor as a function of local intensity."""
+        saturating = intensity / (intensity + self.saturation_intensity)
+        power_transmission = self.linear_transmission + (1.0 - self.linear_transmission) * saturating
+        return power_transmission**0.5
+
+    def forward(self, field: Tensor) -> Tensor:
+        intensity = field.abs2()
+        return field * self.transmission(intensity).to_complex()
+
+
+class KerrPhaseLayer(Module):
+    """Kerr-type self-phase modulation: phase shift proportional to intensity."""
+
+    def __init__(self, nonlinear_coefficient: float = 1.0):
+        super().__init__()
+        self.nonlinear_coefficient = float(nonlinear_coefficient)
+
+    def forward(self, field: Tensor) -> Tensor:
+        phase_shift = field.abs2() * self.nonlinear_coefficient
+        return field * ops.exp_i(phase_shift)

@@ -1,0 +1,29 @@
+"""Plane-wise layer normalisation used only during training (Section 5.6.2).
+
+The segmentation DONN applies layer normalisation to the intensity pattern
+before the detector *during training only*; at inference the raw optical
+intensity is used (the physical system has no normalisation hardware).
+``PlaneNorm`` therefore checks ``self.training`` and becomes the identity
+in eval mode.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.autograd import Module, Parameter, Tensor, functional
+
+
+class PlaneNorm(Module):
+    """Layer normalisation over the spatial plane of a real-valued pattern."""
+
+    def __init__(self, axes: Tuple[int, ...] = (-2, -1), eps: float = 1e-6, training_only: bool = True):
+        super().__init__()
+        self.axes = axes
+        self.eps = eps
+        self.training_only = training_only
+
+    def forward(self, pattern: Tensor) -> Tensor:
+        if self.training_only and not self.training:
+            return pattern
+        return functional.layer_norm(pattern, axes=self.axes, eps=self.eps)

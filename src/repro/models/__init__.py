@@ -1,0 +1,19 @@
+"""DONN system containers (``lr.models``).
+
+* :class:`~repro.models.donn.DONN` -- the standard sequentially stacked
+  diffractive classifier of Figure 2.
+* :class:`~repro.models.multichannel.MultiChannelDONN` -- the RGB
+  three-channel architecture of Figure 12.
+* :class:`~repro.models.segmentation.SegmentationDONN` -- the all-optical
+  image-segmentation architecture of Figure 13 (optical skip connection +
+  training-time layer norm).
+* :class:`~repro.models.config.DONNConfig` -- the hyper-parameter record
+  shared by the DSL, the DSE engine and the deployment backend.
+"""
+
+from repro.models.config import DONNConfig
+from repro.models.donn import DONN
+from repro.models.multichannel import MultiChannelDONN
+from repro.models.segmentation import SegmentationDONN
+
+__all__ = ["DONNConfig", "DONN", "MultiChannelDONN", "SegmentationDONN"]

@@ -1,0 +1,75 @@
+"""The DONN hyper-parameter record shared across the framework.
+
+``DONNConfig`` is the single place where the architectural parameters that
+the paper's DSE engine explores (Section 4) are written down: system size,
+diffraction unit size, diffraction distance, wavelength, depth, device
+precision and the training regularization factor.  The DSL, the DSE
+engine, the deployment backend and the benchmarks all exchange this
+object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict, replace
+from typing import Dict, Optional
+
+from repro.optics.grid import SpatialGrid
+from repro.optics.laser import VISIBLE_GREEN_532NM
+
+
+@dataclass(frozen=True)
+class DONNConfig:
+    """Architectural and training hyper-parameters of a DONN system.
+
+    Defaults follow the paper's prototype (Section 5.1): 532 nm laser,
+    200x200 system, 36 um diffraction units, 0.3 m diffraction distance,
+    although most tests and benches use scaled-down sizes.
+    """
+
+    sys_size: int = 200
+    pixel_size: float = 36e-6
+    distance: float = 0.3
+    wavelength: float = VISIBLE_GREEN_532NM
+    num_layers: int = 5
+    num_classes: int = 10
+    approx: str = "rayleigh_sommerfeld"
+    amplitude_factor: float = 1.0
+    det_size: Optional[int] = None
+    device_levels: int = 256
+    codesign_temperature: float = 1.0
+    pad_factor: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sys_size <= 0:
+            raise ValueError("sys_size must be positive")
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if self.distance <= 0:
+            raise ValueError("distance must be positive")
+        if self.wavelength <= 0:
+            raise ValueError("wavelength must be positive")
+        if self.pixel_size <= 0:
+            raise ValueError("pixel_size must be positive")
+        if self.codesign_temperature <= 0:
+            raise ValueError("codesign_temperature must be positive")
+
+    @property
+    def grid(self) -> SpatialGrid:
+        return SpatialGrid(size=self.sys_size, pixel_size=self.pixel_size)
+
+    @property
+    def unit_size_in_wavelengths(self) -> float:
+        """Diffraction-unit size expressed in wavelengths (the DSE axis of Fig. 5)."""
+        return self.pixel_size / self.wavelength
+
+    def with_updates(self, **kwargs) -> "DONNConfig":
+        """Return a copy with some fields replaced (used by DSE sweeps)."""
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> Dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, values: Dict) -> "DONNConfig":
+        return cls(**values)

@@ -1,0 +1,63 @@
+"""Low-level optical physics modeling (LightRidge Table 2, "Low-level modeling").
+
+Contents
+--------
+* :mod:`~repro.optics.grid` -- spatial sampling grids shared by sources,
+  propagators and detectors.
+* :mod:`~repro.optics.laser` -- coherent laser sources with configurable
+  wavelength and beam profile (plane, Gaussian, Bessel).
+* :mod:`~repro.optics.propagation` -- FFT-based scalar-diffraction
+  propagators: Rayleigh-Sommerfeld (angular spectrum), Fresnel and
+  Fraunhofer approximations, plus a direct-integration reference.
+* :mod:`~repro.optics.elements` -- passive free-space elements (apertures,
+  thin lenses, beam splitters, mirrors) used by the advanced
+  architectures of Section 5.6.
+* :mod:`~repro.optics.wave` -- helpers for building and analysing complex
+  scalar wavefields.
+"""
+
+from repro.optics.grid import SpatialGrid
+from repro.optics.laser import LaserSource, plane_profile, gaussian_profile, bessel_profile
+from repro.optics.propagation import (
+    Propagator,
+    RayleighSommerfeldPropagator,
+    FresnelPropagator,
+    FraunhoferPropagator,
+    DirectIntegrationPropagator,
+    make_propagator,
+    fresnel_number,
+    APPROXIMATIONS,
+)
+from repro.optics.elements import (
+    circular_aperture,
+    rectangular_aperture,
+    thin_lens_phase,
+    BeamSplitter,
+    Mirror,
+)
+from repro.optics.wave import intensity, normalize_field, field_from_intensity, total_power
+
+__all__ = [
+    "SpatialGrid",
+    "LaserSource",
+    "plane_profile",
+    "gaussian_profile",
+    "bessel_profile",
+    "Propagator",
+    "RayleighSommerfeldPropagator",
+    "FresnelPropagator",
+    "FraunhoferPropagator",
+    "DirectIntegrationPropagator",
+    "make_propagator",
+    "fresnel_number",
+    "APPROXIMATIONS",
+    "circular_aperture",
+    "rectangular_aperture",
+    "thin_lens_phase",
+    "BeamSplitter",
+    "Mirror",
+    "intensity",
+    "normalize_field",
+    "field_from_intensity",
+    "total_power",
+]

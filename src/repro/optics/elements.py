@@ -1,0 +1,69 @@
+"""Passive free-space optical elements.
+
+The advanced architectures of Section 5.6 add beam splitters and mirrors
+around the diffractive stack (multi-channel RGB classification, optical
+skip connections).  These elements are loss-less linear maps on the
+complex field, so they are trivially differentiable.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.optics.grid import SpatialGrid
+
+
+def circular_aperture(grid: SpatialGrid, radius_fraction: float = 0.5) -> np.ndarray:
+    """Binary circular aperture mask with radius ``radius_fraction * extent/2``."""
+    if not 0 < radius_fraction <= 1.0:
+        raise ValueError("radius_fraction must be in (0, 1]")
+    x, y = grid.coordinates
+    radius = radius_fraction * grid.extent / 2.0
+    return (x**2 + y**2 <= radius**2).astype(float)
+
+
+def rectangular_aperture(grid: SpatialGrid, width_fraction: float = 0.5, height_fraction: float = 0.5) -> np.ndarray:
+    """Binary rectangular aperture mask centred on the axis."""
+    x, y = grid.coordinates
+    half_w = width_fraction * grid.extent / 2.0
+    half_h = height_fraction * grid.extent / 2.0
+    return ((np.abs(x) <= half_w) & (np.abs(y) <= half_h)).astype(float)
+
+
+def thin_lens_phase(grid: SpatialGrid, wavelength: float, focal_length: float) -> np.ndarray:
+    """Phase profile of an ideal thin lens, ``-k (x^2+y^2) / (2 f)``."""
+    if focal_length == 0:
+        raise ValueError("focal length must be non-zero")
+    x, y = grid.coordinates
+    k = 2.0 * np.pi / wavelength
+    return -k * (x**2 + y**2) / (2.0 * focal_length)
+
+
+class BeamSplitter:
+    """An ideal loss-less beam splitter.
+
+    ``split`` divides an incoming field into two output arms;
+    ``combine`` merges two arms onto one axis.  Power is conserved:
+    each arm carries half the power (amplitude scaled by ``1/sqrt(2)``).
+    """
+
+    _SCALE = 1.0 / np.sqrt(2.0)
+
+    def split(self, field: Tensor) -> Tuple[Tensor, Tensor]:
+        transmitted = field * self._SCALE
+        reflected = field * complex(0.0, self._SCALE)  # reflection adds a 90 degree phase
+        return transmitted, reflected
+
+    def combine(self, field_a: Tensor, field_b: Tensor) -> Tensor:
+        return field_a * self._SCALE + field_b * complex(0.0, self._SCALE)
+
+
+class Mirror:
+    """An ideal flat mirror: flips the transverse coordinate and adds pi phase."""
+
+    def __call__(self, field: Tensor) -> Tensor:
+        flipped = field[..., ::-1]
+        return flipped * (-1.0)

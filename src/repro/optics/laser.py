@@ -1,0 +1,108 @@
+"""Coherent laser sources and beam profiles (``lr.laser`` in the paper).
+
+A :class:`LaserSource` carries the wavelength (the third DSE axis of
+Section 4) and a beam profile that shapes the illumination amplitude over
+the input plane.  Profiles are plain functions of a grid so new ones can
+be added without touching the class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+from scipy import special
+
+from repro.autograd import Tensor
+from repro.optics.grid import SpatialGrid
+
+ProfileFn = Callable[[SpatialGrid], np.ndarray]
+
+# Named wavelengths used throughout the paper (metres).
+VISIBLE_GREEN_532NM = 532e-9
+VISIBLE_BLUE_432NM = 432e-9
+VISIBLE_RED_632NM = 632e-9
+TERAHERTZ_400UM = 400e-6
+
+
+def plane_profile(grid: SpatialGrid) -> np.ndarray:
+    """Uniform (collimated) illumination over the whole plane."""
+    return np.ones(grid.shape, dtype=float)
+
+
+def gaussian_profile(grid: SpatialGrid, waist_fraction: float = 0.5) -> np.ndarray:
+    """Gaussian beam amplitude with a waist of ``waist_fraction * extent``."""
+    x, y = grid.coordinates
+    waist = waist_fraction * grid.extent
+    return np.exp(-(x**2 + y**2) / waist**2)
+
+
+def bessel_profile(grid: SpatialGrid, radial_frequency_fraction: float = 4.0) -> np.ndarray:
+    """Zeroth-order Bessel beam amplitude |J0(k_r r)| (non-diffracting core)."""
+    x, y = grid.coordinates
+    radius = np.sqrt(x**2 + y**2)
+    k_radial = 2.0 * np.pi * radial_frequency_fraction / grid.extent
+    return np.abs(special.j0(k_radial * radius))
+
+
+PROFILES: Dict[str, ProfileFn] = {
+    "plane": plane_profile,
+    "gaussian": gaussian_profile,
+    "bessel": bessel_profile,
+}
+
+
+@dataclass
+class LaserSource:
+    """A continuous-wave coherent source illuminating the input plane.
+
+    Parameters
+    ----------
+    wavelength:
+        Laser wavelength in metres (e.g. ``532e-9`` for the prototype).
+    power:
+        Total optical power in watts; used by the energy model (Table 4).
+    profile:
+        Beam profile name in :data:`PROFILES` or a callable grid -> array.
+    """
+
+    wavelength: float = VISIBLE_GREEN_532NM
+    power: float = 5e-3
+    profile: str | ProfileFn = "plane"
+
+    def __post_init__(self) -> None:
+        if self.wavelength <= 0:
+            raise ValueError("wavelength must be positive")
+        if self.power <= 0:
+            raise ValueError("power must be positive")
+        if isinstance(self.profile, str) and self.profile not in PROFILES:
+            raise ValueError(f"unknown beam profile {self.profile!r}; choose from {sorted(PROFILES)}")
+
+    @property
+    def wavenumber(self) -> float:
+        """Wave number ``k = 2 pi / lambda``."""
+        return 2.0 * np.pi / self.wavelength
+
+    def profile_amplitude(self, grid: SpatialGrid) -> np.ndarray:
+        """Beam amplitude over the grid, normalised to the source power."""
+        fn = PROFILES[self.profile] if isinstance(self.profile, str) else self.profile
+        amplitude = np.asarray(fn(grid), dtype=float)
+        norm = np.sqrt((amplitude**2).sum())
+        if norm == 0:
+            raise ValueError("beam profile has zero power over the grid")
+        return amplitude * np.sqrt(self.power) / norm
+
+    def illuminate(self, grid: SpatialGrid, image: Optional[Tensor] = None) -> Tensor:
+        """Return the complex field leaving the encoding plane.
+
+        If ``image`` is given (a real non-negative intensity pattern), it is
+        encoded on the beam amplitude as ``sqrt(I)``, matching the paper's
+        amplitude encoding; otherwise the bare beam profile is returned.
+        """
+        amplitude = Tensor(self.profile_amplitude(grid))
+        if image is None:
+            return amplitude.to_complex()
+        image_t = image if isinstance(image, Tensor) else Tensor(image)
+        encoded = amplitude * (image_t.clip(0.0, None) ** 0.5)
+        return encoded.to_complex()

@@ -1,0 +1,69 @@
+"""Helpers for building and analysing complex scalar wavefields."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+FieldLike = Union[Tensor, np.ndarray]
+
+
+def _as_tensor(field: FieldLike) -> Tensor:
+    return field if isinstance(field, Tensor) else Tensor(field)
+
+
+def intensity(field: FieldLike) -> Tensor:
+    """Light intensity ``|E|^2`` of a complex field (what a detector measures)."""
+    return _as_tensor(field).abs2()
+
+
+def total_power(field: FieldLike) -> Tensor:
+    """Total optical power collected over the plane (sum of intensity)."""
+    return intensity(field).sum()
+
+
+def field_from_intensity(image: FieldLike, phase: float = 0.0) -> Tensor:
+    """Encode an intensity image onto a coherent wave (Section 3.1).
+
+    The paper encodes the input information on the *amplitude* of the laser
+    with an initially flat phase: ``E = sqrt(I) * exp(j * phase)`` with
+    ``phase = 0`` by default.  Negative intensities are clipped at zero.
+    """
+    image_t = _as_tensor(image)
+    amplitude = image_t.clip(0.0, None) ** 0.5
+    if phase == 0.0:
+        return amplitude.to_complex()
+    return amplitude.to_complex() * complex(np.cos(phase), np.sin(phase))
+
+
+def normalize_field(field: FieldLike, power: float = 1.0) -> Tensor:
+    """Rescale a field so its total power equals ``power``."""
+    field_t = _as_tensor(field)
+    current = float(total_power(field_t).data.real)
+    if current <= 0:
+        return field_t
+    scale = float(np.sqrt(power / current))
+    return field_t * scale
+
+
+def phase_of(field: FieldLike) -> Tensor:
+    """Phase angle of the field in radians."""
+    return _as_tensor(field).angle()
+
+
+def correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Normalised cross-correlation between two real patterns in [-1, 1].
+
+    Used to quantify simulation-to-hardware agreement (Figure 6).
+    """
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    a = a - a.mean()
+    b = b - b.mean()
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0:
+        return 0.0
+    return float(np.dot(a, b) / denom)

@@ -1,0 +1,24 @@
+"""Training support (``lr.train`` in the paper's DSL).
+
+* :mod:`~repro.train.metrics` -- accuracy, top-k accuracy, confusion
+  matrix, IoU for segmentation, prediction-confidence statistics.
+* :mod:`~repro.train.loop` -- :class:`Trainer` for classifier DONNs /
+  digital baselines and :class:`SegmentationTrainer` for image-to-image
+  DONNs, plus noise-robustness evaluation (Figure 7).
+"""
+
+from repro.train.loop import Trainer, SegmentationTrainer, TrainingResult, evaluate_classifier, evaluate_with_detector_noise
+from repro.train.metrics import accuracy, top_k_accuracy, confusion_matrix, intersection_over_union, prediction_confidence
+
+__all__ = [
+    "Trainer",
+    "SegmentationTrainer",
+    "TrainingResult",
+    "evaluate_classifier",
+    "evaluate_with_detector_noise",
+    "accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "intersection_over_union",
+    "prediction_confidence",
+]

@@ -1,0 +1,78 @@
+"""Evaluation metrics for DONN classifiers and segmenters."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+ArrayOrTensor = Union[np.ndarray, Tensor]
+
+
+def _as_array(values: ArrayOrTensor) -> np.ndarray:
+    return values.data.real if isinstance(values, Tensor) else np.asarray(values)
+
+
+def accuracy(logits: ArrayOrTensor, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy from per-class scores."""
+    scores = _as_array(logits)
+    labels = np.asarray(labels, dtype=int)
+    predictions = scores.argmax(axis=-1)
+    return float((predictions == labels).mean())
+
+
+def top_k_accuracy(logits: ArrayOrTensor, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy (Table 5 reports top-1/3/5 on the scene dataset)."""
+    scores = _as_array(logits)
+    labels = np.asarray(labels, dtype=int)
+    k = min(k, scores.shape[-1])
+    top_k = np.argsort(scores, axis=-1)[..., ::-1][..., :k]
+    hits = (top_k == labels[..., None]).any(axis=-1)
+    return float(hits.mean())
+
+
+def confusion_matrix(logits: ArrayOrTensor, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Row = true class, column = predicted class, counts."""
+    scores = _as_array(logits)
+    labels = np.asarray(labels, dtype=int)
+    predictions = scores.argmax(axis=-1)
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def intersection_over_union(predicted_mask: ArrayOrTensor, target_mask: ArrayOrTensor) -> float:
+    """Mean IoU of binary masks over a batch (segmentation quality, Figure 13)."""
+    predicted = _as_array(predicted_mask) > 0.5
+    target = _as_array(target_mask) > 0.5
+    if predicted.ndim == 2:
+        predicted = predicted[None]
+        target = target[None]
+    axes = (-2, -1)
+    intersection = np.logical_and(predicted, target).sum(axis=axes)
+    union = np.logical_or(predicted, target).sum(axis=axes)
+    iou = np.where(union > 0, intersection / np.maximum(union, 1), 1.0)
+    return float(iou.mean())
+
+
+def pixel_accuracy(predicted_mask: ArrayOrTensor, target_mask: ArrayOrTensor) -> float:
+    """Fraction of pixels whose binary label matches."""
+    predicted = _as_array(predicted_mask) > 0.5
+    target = _as_array(target_mask) > 0.5
+    return float((predicted == target).mean())
+
+
+def prediction_confidence(logits: ArrayOrTensor) -> float:
+    """Mean softmax probability assigned to the predicted class.
+
+    The paper's Figure 7 studies this "confidence" as DONN depth grows:
+    deeper stacks concentrate more light in the winning detector region,
+    which makes predictions robust to detector noise.
+    """
+    scores = _as_array(logits).astype(float)
+    scores = scores - scores.max(axis=-1, keepdims=True)
+    probabilities = np.exp(scores)
+    probabilities /= probabilities.sum(axis=-1, keepdims=True)
+    return float(probabilities.max(axis=-1).mean())

@@ -1,0 +1,6 @@
+"""Shared utilities: visualisation and (de)serialisation."""
+
+from repro.utils.visualization import ascii_heatmap, pattern_summary, format_table
+from repro.utils.serialization import save_model, load_model_into
+
+__all__ = ["ascii_heatmap", "pattern_summary", "format_table", "save_model", "load_model_into"]

@@ -1,0 +1,30 @@
+"""Model (de)serialisation built on numpy archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.autograd import Module
+
+
+def save_model(model: Module, path: Union[str, Path]) -> Path:
+    """Save all parameters of a module to a ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    np.savez(path, **state)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model_into(model: Module, path: Union[str, Path]) -> Module:
+    """Load parameters saved by :func:`save_model` into an existing module."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model

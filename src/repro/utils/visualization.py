@@ -1,0 +1,67 @@
+"""Terminal-friendly visualisation helpers.
+
+There is no display in the reproduction environment, so phase patterns and
+detector read-outs are rendered as ASCII heat maps and formatted tables --
+the equivalent of ``lr.layers.view()`` for a headless box.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(values: np.ndarray, width: int = 48, height: int = 24) -> str:
+    """Render a 2-D array as an ASCII heat map string."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ValueError("ascii_heatmap expects a 2-D array")
+    rows = np.linspace(0, values.shape[0] - 1, min(height, values.shape[0])).astype(int)
+    cols = np.linspace(0, values.shape[1] - 1, min(width, values.shape[1])).astype(int)
+    sampled = values[np.ix_(rows, cols)]
+    low, high = sampled.min(), sampled.max()
+    if high - low < 1e-12:
+        normalised = np.zeros_like(sampled)
+    else:
+        normalised = (sampled - low) / (high - low)
+    indices = (normalised * (len(_SHADES) - 1)).astype(int)
+    return "\n".join("".join(_SHADES[i] for i in row) for row in indices)
+
+
+def pattern_summary(pattern: np.ndarray) -> Dict[str, float]:
+    """Summary statistics of an intensity pattern (peak, total, contrast)."""
+    pattern = np.asarray(pattern, dtype=float)
+    total = float(pattern.sum())
+    peak = float(pattern.max()) if pattern.size else 0.0
+    mean = float(pattern.mean()) if pattern.size else 0.0
+    contrast = peak / mean if mean > 0 else 0.0
+    return {"total": total, "peak": peak, "mean": mean, "contrast": contrast}
+
+
+def format_table(rows: Sequence[Dict[str, Union[str, float, int]]], float_format: str = "{:.3f}") -> str:
+    """Format a list of dictionaries as an aligned text table.
+
+    Used by the benchmark harness to print the paper's tables.
+    """
+    if not rows:
+        return "(empty table)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return "" if value is None else str(value)
+
+    rendered = [[render(row.get(column)) for column in columns] for row in rows]
+    widths = [max(len(column), *(len(line[i]) for line in rendered)) for i, column in enumerate(columns)]
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = "\n".join(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)) for line in rendered)
+    return f"{header}\n{separator}\n{body}"

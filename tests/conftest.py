@@ -1,0 +1,52 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_digits, load_fashion, load_segmentation_scenes
+from repro.models.config import DONNConfig
+from repro.optics.grid import SpatialGrid
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_grid() -> SpatialGrid:
+    """A 32x32 grid with prototype-like pixel pitch."""
+    return SpatialGrid(size=32, pixel_size=36e-6)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> DONNConfig:
+    """A fast 2-layer, 32x32 DONN configuration used across tests."""
+    return DONNConfig(
+        sys_size=32,
+        pixel_size=36e-6,
+        distance=0.05,
+        wavelength=532e-9,
+        num_layers=2,
+        num_classes=10,
+        det_size=4,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_digits():
+    """A small cached digit dataset: (train_x, train_y, test_x, test_y) at 32x32."""
+    return load_digits(num_train=150, num_test=50, size=32, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_fashion():
+    return load_fashion(num_train=60, num_test=30, size=32, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_segmentation():
+    return load_segmentation_scenes(num_samples=12, size=32, seed=7)

@@ -1,0 +1,168 @@
+"""Tests for NN-style functional ops: activations, losses, norm, conv, pooling."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.autograd import Tensor, check_gradients, functional as F
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = F.relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_relu_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)) + 0.1, requires_grad=True)
+        assert check_gradients(lambda x: (F.relu(x) ** 2).sum(), [x])
+
+    def test_sigmoid_range_and_symmetry(self, rng):
+        x = rng.normal(size=10)
+        out = F.sigmoid(Tensor(x)).data
+        assert np.all((out > 0) & (out < 1))
+        np.testing.assert_allclose(F.sigmoid(Tensor(-x)).data, 1.0 - out, atol=1e-12)
+
+    def test_sigmoid_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        assert check_gradients(lambda x: (F.sigmoid(x) ** 2).sum(), [x])
+
+    def test_softmax_sums_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(5, 7))), axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0)
+
+    def test_softmax_invariant_to_shift(self, rng):
+        x = rng.normal(size=(3, 4))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_softmax_handles_large_values(self):
+        out = F.softmax(Tensor([[1000.0, 0.0]])).data
+        assert np.isfinite(out).all()
+
+    def test_softmax_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 5)), requires_grad=True)
+        weights = rng.normal(size=(2, 5))
+        assert check_gradients(lambda x: (F.softmax(x) * weights).sum(), [x])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.normal(size=(3, 6))
+        np.testing.assert_allclose(
+            F.log_softmax(Tensor(x)).data, np.log(F.softmax(Tensor(x)).data), atol=1e-10
+        )
+
+    def test_log_softmax_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        weights = rng.normal(size=(2, 4))
+        assert check_gradients(lambda x: (F.log_softmax(x) * weights).sum(), [x])
+
+
+class TestLosses:
+    def test_mse_zero_for_identical(self, rng):
+        x = rng.normal(size=(3, 3))
+        assert F.mse_loss(Tensor(x), Tensor(x.copy())).item() == pytest.approx(0.0)
+
+    def test_mse_known_value(self):
+        loss = F.mse_loss(Tensor([1.0, 2.0]), Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_softmax_mse_loss_gradcheck(self, rng):
+        logits = Tensor(rng.normal(size=(3, 5)), requires_grad=True)
+        target = Tensor(F.one_hot(np.array([0, 2, 4]), 5))
+        assert check_gradients(lambda x: F.softmax_mse_loss(x, target), [logits])
+
+    def test_cross_entropy_decreases_with_correct_logits(self):
+        labels = np.array([0, 1])
+        bad = F.cross_entropy(Tensor([[0.0, 0.0], [0.0, 0.0]]), labels).item()
+        good = F.cross_entropy(Tensor([[5.0, 0.0], [0.0, 5.0]]), labels).item()
+        assert good < bad
+
+    def test_cross_entropy_gradcheck(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        labels = np.array([0, 1, 2, 1])
+        assert check_gradients(lambda x: F.cross_entropy(x, labels), [logits])
+
+    def test_binary_cross_entropy_bounds(self, rng):
+        prediction = Tensor(rng.uniform(0.05, 0.95, size=(4, 4)))
+        target = Tensor((rng.random((4, 4)) > 0.5).astype(float))
+        loss = F.binary_cross_entropy(prediction, target).item()
+        assert loss > 0
+
+    def test_binary_cross_entropy_gradcheck(self, rng):
+        prediction = Tensor(rng.uniform(0.2, 0.8, size=(3, 3)), requires_grad=True)
+        target = Tensor((rng.random((3, 3)) > 0.5).astype(float))
+        assert check_gradients(lambda p: F.binary_cross_entropy(p, target), [prediction])
+
+    def test_one_hot_shape_and_values(self):
+        encoded = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_allclose(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_preserves_leading_shape(self):
+        encoded = F.one_hot(np.array([[0, 1], [2, 0]]), 3)
+        assert encoded.shape == (2, 2, 3)
+
+
+class TestLayerNorm:
+    def test_zero_mean_unit_variance(self, rng):
+        x = Tensor(rng.normal(loc=5.0, scale=3.0, size=(2, 8, 8)))
+        out = F.layer_norm(x).data
+        np.testing.assert_allclose(out.mean(axis=(-2, -1)), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=(-2, -1)), 1.0, atol=1e-3)
+
+    def test_gain_and_bias_applied(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        out = F.layer_norm(x, gain=Tensor(2.0), bias=Tensor(1.0)).data
+        assert out.mean() == pytest.approx(1.0, abs=1e-6)
+
+    def test_layer_norm_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        weights = rng.normal(size=(3, 4))
+        assert check_gradients(lambda x: (F.layer_norm(x, axes=(-1,)) * weights).sum(), [x], atol=1e-5)
+
+
+class TestConvPool:
+    def test_conv2d_matches_scipy_single_channel(self, rng):
+        image = rng.normal(size=(1, 1, 8, 8))
+        kernel = rng.normal(size=(1, 1, 3, 3))
+        ours = F.conv2d(Tensor(image), Tensor(kernel), stride=1, padding=0).data[0, 0]
+        # scipy correlate2d in 'valid' mode is exactly an unpadded stride-1 conv.
+        reference = signal.correlate2d(image[0, 0], kernel[0, 0], mode="valid")
+        np.testing.assert_allclose(ours, reference, atol=1e-10)
+
+    def test_conv2d_output_shape_with_stride_padding(self, rng):
+        image = rng.normal(size=(2, 3, 16, 16))
+        kernel = rng.normal(size=(5, 3, 5, 5))
+        out = F.conv2d(Tensor(image), Tensor(kernel), stride=2, padding=2)
+        assert out.shape == (2, 5, 8, 8)
+
+    def test_conv2d_bias_added(self, rng):
+        image = np.zeros((1, 1, 4, 4))
+        kernel = np.zeros((2, 1, 3, 3))
+        bias = np.array([1.5, -0.5])
+        out = F.conv2d(Tensor(image), Tensor(kernel), Tensor(bias), stride=1, padding=1).data
+        assert out[0, 0].mean() == pytest.approx(1.5)
+        assert out[0, 1].mean() == pytest.approx(-0.5)
+
+    def test_conv2d_gradcheck(self, rng):
+        image = Tensor(rng.normal(size=(1, 2, 6, 6)), requires_grad=True)
+        kernel = Tensor(rng.normal(size=(3, 2, 3, 3)) * 0.2, requires_grad=True)
+        bias = Tensor(rng.normal(size=3), requires_grad=True)
+        assert check_gradients(
+            lambda x, w, b: (F.conv2d(x, w, b, stride=2, padding=1) ** 2).sum(), [image, kernel, bias], atol=1e-5
+        )
+
+    def test_max_pool_values(self):
+        image = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(image), kernel=2).data
+        np.testing.assert_allclose(out[0, 0], [[5.0, 7.0], [13.0, 15.0]])
+
+    def test_max_pool_gradcheck(self, rng):
+        image = Tensor(rng.normal(size=(1, 2, 6, 6)), requires_grad=True)
+        assert check_gradients(lambda x: (F.max_pool2d(x, 2) ** 2).sum(), [image], atol=1e-5)
+
+    def test_linear_matches_manual(self, rng):
+        x = rng.normal(size=(4, 3))
+        weight = rng.normal(size=(2, 3))
+        bias = rng.normal(size=2)
+        out = F.linear(Tensor(x), Tensor(weight), Tensor(bias)).data
+        np.testing.assert_allclose(out, x @ weight.T + bias, atol=1e-12)

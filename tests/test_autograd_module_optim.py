@@ -1,0 +1,205 @@
+"""Tests for Module/Parameter containers and the optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, Module, ModuleList, Parameter, SGD, Sequential, Tensor, functional as F
+
+
+class Affine(Module):
+    def __init__(self, scale=2.0, offset=0.0):
+        super().__init__()
+        self.scale = Parameter(np.array(scale))
+        self.offset = Parameter(np.array(offset))
+
+    def forward(self, x):
+        return x * self.scale + self.offset
+
+
+class Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Affine(1.0)
+        self.second = Affine(3.0)
+        self.free = Parameter(np.zeros(2))
+
+    def forward(self, x):
+        return self.second(self.first(x))
+
+
+class TestModule:
+    def test_parameters_collected_recursively(self):
+        model = Nested()
+        assert len(model.parameters()) == 5
+
+    def test_named_parameters_have_dotted_paths(self):
+        names = dict(Nested().named_parameters()).keys()
+        assert "first.scale" in names and "second.offset" in names and "free" in names
+
+    def test_modules_iterates_children(self):
+        assert len(list(Nested().modules())) == 3
+
+    def test_zero_grad_clears_all(self):
+        model = Affine()
+        (model(Tensor([1.0, 2.0])) ** 2).sum().backward()
+        assert model.scale.grad is not None
+        model.zero_grad()
+        assert model.scale.grad is None
+
+    def test_train_eval_propagates(self):
+        model = Nested()
+        model.eval()
+        assert not model.first.training and not model.second.training
+        model.train()
+        assert model.first.training
+
+    def test_state_dict_roundtrip(self):
+        source = Nested()
+        source.first.scale.data = np.array(42.0)
+        target = Nested()
+        target.load_state_dict(source.state_dict())
+        assert target.first.scale.data == pytest.approx(42.0)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        model = Nested()
+        state = model.state_dict()
+        state.pop("free")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_rejects_shape_mismatch(self):
+        model = Nested()
+        state = model.state_dict()
+        state["free"] = np.zeros(5)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1.0)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        model = Sequential(Affine(2.0), Affine(3.0, 1.0))
+        out = model(Tensor([1.0]))
+        assert out.data[0] == pytest.approx(7.0)
+
+    def test_sequential_len_getitem_iter(self):
+        model = Sequential(Affine(), Affine())
+        assert len(model) == 2
+        assert isinstance(model[0], Affine)
+        assert len(list(iter(model))) == 2
+
+    def test_sequential_append_registers_parameters(self):
+        model = Sequential()
+        model.append(Affine())
+        assert len(model.parameters()) == 2
+
+    def test_module_list_registers_parameters(self):
+        container = ModuleList([Affine(), Affine()])
+        assert len(container.parameters()) == 4
+        assert len(container) == 2
+        assert isinstance(container[1], Affine)
+
+    def test_module_list_not_callable(self):
+        with pytest.raises(RuntimeError):
+            ModuleList([Affine()])(Tensor([1.0]))
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0, 0.5])
+        param = Parameter(np.zeros(3))
+        return param, target
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_sgd_converges_on_quadratic(self):
+        param, target = self._quadratic_problem()
+        optimizer = SGD([param], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = ((param - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges_faster_than_plain(self):
+        def run(momentum):
+            param, target = self._quadratic_problem()
+            optimizer = SGD([param], lr=0.02, momentum=momentum)
+            for _ in range(60):
+                optimizer.zero_grad()
+                ((param - Tensor(target)) ** 2).sum().backward()
+                optimizer.step()
+            return float(np.abs(param.data - target).sum())
+
+        assert run(0.9) < run(0.0)
+
+    def test_adam_converges_on_quadratic(self):
+        param, target = self._quadratic_problem()
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(300):
+            optimizer.zero_grad()
+            ((param - Tensor(target)) ** 2).sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_adam_handles_complex_parameters(self):
+        target = np.array([1.0 + 1.0j, -2.0j])
+        param = Parameter(np.zeros(2, dtype=complex))
+        optimizer = Adam([param], lr=0.1)
+        for _ in range(400):
+            optimizer.zero_grad()
+            (param - Tensor(target)).abs2().sum().backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_step_skips_parameters_without_grad(self):
+        used = Parameter(np.zeros(2))
+        unused = Parameter(np.ones(2))
+        optimizer = Adam([used, unused], lr=0.5)
+        (used.sum()).backward()
+        optimizer.step()
+        np.testing.assert_allclose(unused.data, np.ones(2))
+
+    def test_adam_invariant_to_gradient_scale(self):
+        """Adam's parameter updates depend only weakly on gradient magnitude."""
+
+        def run(scale):
+            param = Parameter(np.array([1.0]))
+            optimizer = Adam([param], lr=0.1)
+            for _ in range(10):
+                optimizer.zero_grad()
+                (param * scale).sum().backward()
+                optimizer.step()
+            return param.data.copy()
+
+        np.testing.assert_allclose(run(1.0), run(1000.0), atol=1e-6)
+
+    def test_training_a_small_classifier_reduces_loss(self, rng):
+        """End-to-end: a 2-layer MLP on random separable data learns."""
+        inputs = rng.normal(size=(60, 5))
+        labels = (inputs[:, 0] + inputs[:, 1] > 0).astype(int)
+        weight1 = Parameter(rng.normal(scale=0.5, size=(8, 5)))
+        bias1 = Parameter(np.zeros(8))
+        weight2 = Parameter(rng.normal(scale=0.5, size=(2, 8)))
+        bias2 = Parameter(np.zeros(2))
+        params = [weight1, bias1, weight2, bias2]
+        optimizer = Adam(params, lr=0.05)
+
+        def loss_value():
+            hidden = F.relu(F.linear(Tensor(inputs), weight1, bias1))
+            logits = F.linear(hidden, weight2, bias2)
+            return F.cross_entropy(logits, labels)
+
+        initial = float(loss_value().data)
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = loss_value()
+            loss.backward()
+            optimizer.step()
+        assert float(loss_value().data) < initial * 0.3

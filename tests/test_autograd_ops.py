@@ -1,0 +1,101 @@
+"""Tests for array-level ops: padding, cropping, stacking, where, roll."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients, ops
+
+
+class TestPadCrop:
+    def test_pad_shape_and_values(self, rng):
+        x = Tensor(rng.normal(size=(2, 4, 4)))
+        padded = ops.pad2d(x, 2)
+        assert padded.shape == (2, 8, 8)
+        np.testing.assert_allclose(padded.data[:, 2:6, 2:6], x.data)
+        assert padded.data[:, 0, 0] == pytest.approx(0.0)
+
+    def test_pad_zero_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert ops.pad2d(x, 0) is x
+
+    def test_crop_inverts_pad(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        np.testing.assert_allclose(ops.crop2d(ops.pad2d(x, 3), 3).data, x.data)
+
+    def test_crop_zero_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert ops.crop2d(x, 0) is x
+
+    def test_gradcheck_pad(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        weights = rng.normal(size=(7, 7))
+        assert check_gradients(lambda x: (ops.pad2d(x, 2) * weights).sum(), [x])
+
+    def test_gradcheck_crop(self, rng):
+        x = Tensor(rng.normal(size=(6, 6)), requires_grad=True)
+        weights = rng.normal(size=(2, 2))
+        assert check_gradients(lambda x: (ops.crop2d(x, 2) * weights).sum(), [x])
+
+    def test_pad_complex_field(self, rng):
+        field = Tensor(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))
+        padded = ops.pad2d(field, 1)
+        assert padded.is_complex
+        assert padded.shape == (6, 6)
+
+
+class TestStackConcat:
+    def test_stack_shape(self, rng):
+        parts = [Tensor(rng.normal(size=(3, 3))) for _ in range(4)]
+        assert ops.stack(parts, axis=0).shape == (4, 3, 3)
+
+    def test_stack_axis1(self, rng):
+        parts = [Tensor(rng.normal(size=(3, 3))) for _ in range(2)]
+        assert ops.stack(parts, axis=1).shape == (3, 2, 3)
+
+    def test_stack_gradients_route_to_sources(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        weights = rng.normal(size=(2, 2, 2))
+        assert check_gradients(lambda a, b: (ops.stack([a, b]) * weights).sum(), [a, b])
+
+    def test_concatenate_values(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)))
+        b = Tensor(rng.normal(size=(4, 3)))
+        out = ops.concatenate([a, b], axis=0)
+        assert out.shape == (6, 3)
+        np.testing.assert_allclose(out.data[:2], a.data)
+
+    def test_concatenate_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        weights = rng.normal(size=(5, 2))
+        assert check_gradients(lambda a, b: (ops.concatenate([a, b], axis=0) * weights).sum(), [a, b])
+
+
+class TestWhereMaximumRoll:
+    def test_where_selects(self):
+        condition = np.array([True, False, True])
+        out = ops.where(condition, Tensor([1.0, 1.0, 1.0]), Tensor([2.0, 2.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 1.0])
+
+    def test_where_gradcheck(self, rng):
+        condition = rng.random(5) > 0.5
+        a = Tensor(rng.normal(size=5), requires_grad=True)
+        b = Tensor(rng.normal(size=5), requires_grad=True)
+        assert check_gradients(lambda a, b: (ops.where(condition, a, b) ** 2).sum(), [a, b])
+
+    def test_maximum_values(self):
+        out = ops.maximum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0]))
+        np.testing.assert_allclose(out.data, [3.0, 5.0])
+
+    def test_roll_values_and_grad(self, rng):
+        x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        rolled = ops.roll(x, 1, axis=0)
+        np.testing.assert_allclose(rolled.data, np.roll(x.data, 1))
+        weights = rng.normal(size=4)
+        assert check_gradients(lambda x: (ops.roll(x, 1, axis=0) * weights).sum(), [x])
+
+    def test_roll_multiple_axes(self, rng):
+        x = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        weights = rng.normal(size=(3, 3))
+        assert check_gradients(lambda x: (ops.roll(x, (1, 2), axis=(0, 1)) * weights).sum(), [x])

@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) on the autodiff engine and core ops."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.autograd import Tensor, check_gradients, functional as F, ops
+
+_settings = settings(max_examples=25, deadline=None)
+
+real_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=5),
+    elements=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False),
+)
+
+small_shapes = hnp.array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=4)
+
+
+def complex_arrays(shape):
+    return hnp.arrays(
+        dtype=np.complex128,
+        shape=shape,
+        elements=st.complex_numbers(max_magnitude=3.0, allow_nan=False, allow_infinity=False),
+    )
+
+
+class TestAlgebraicProperties:
+    @_settings
+    @given(real_arrays)
+    def test_add_commutative(self, values):
+        a = Tensor(values)
+        b = Tensor(values[::-1].copy())
+        np.testing.assert_allclose((a + b).data, (b + a).data)
+
+    @_settings
+    @given(real_arrays)
+    def test_mul_by_one_is_identity(self, values):
+        t = Tensor(values)
+        np.testing.assert_allclose((t * 1.0).data, values)
+
+    @_settings
+    @given(real_arrays)
+    def test_double_negation(self, values):
+        t = Tensor(values)
+        np.testing.assert_allclose((-(-t)).data, values)
+
+    @_settings
+    @given(real_arrays)
+    def test_sum_of_parts_equals_total(self, values):
+        t = Tensor(values)
+        np.testing.assert_allclose(t.sum().item(), values.sum(), rtol=1e-10, atol=1e-10)
+
+    @_settings
+    @given(st.data())
+    def test_reshape_preserves_sum(self, data):
+        values = data.draw(hnp.arrays(np.float64, (2, 6), elements=st.floats(-3, 3)))
+        t = Tensor(values)
+        np.testing.assert_allclose(t.reshape(3, 4).sum().item(), values.sum(), atol=1e-9)
+
+
+class TestComplexFieldProperties:
+    @_settings
+    @given(st.data())
+    def test_intensity_nonnegative(self, data):
+        values = data.draw(complex_arrays(data.draw(small_shapes)))
+        assert np.all(Tensor(values).abs2().data >= 0)
+
+    @_settings
+    @given(st.data())
+    def test_fft_preserves_energy_parseval(self, data):
+        values = data.draw(complex_arrays((4, 4)))
+        spectrum = ops.fft2(Tensor(values)).data
+        np.testing.assert_allclose(
+            np.sum(np.abs(values) ** 2), np.sum(np.abs(spectrum) ** 2) / values.size, rtol=1e-8, atol=1e-8
+        )
+
+    @_settings
+    @given(st.data())
+    def test_fft_roundtrip(self, data):
+        values = data.draw(complex_arrays((3, 3)))
+        recovered = ops.ifft2(ops.fft2(Tensor(values))).data
+        np.testing.assert_allclose(recovered, values, atol=1e-9)
+
+    @_settings
+    @given(st.data())
+    def test_phase_modulation_preserves_intensity(self, data):
+        """exp(j phi) modulation never changes |field|^2 (pure phase device)."""
+        field = data.draw(complex_arrays((3, 3)))
+        phase = data.draw(
+            hnp.arrays(np.float64, (3, 3), elements=st.floats(0, 2 * np.pi, allow_nan=False))
+        )
+        modulated = Tensor(field) * ops.exp_i(Tensor(phase))
+        np.testing.assert_allclose(modulated.abs2().data, np.abs(field) ** 2, rtol=1e-9, atol=1e-9)
+
+    @_settings
+    @given(st.data())
+    def test_conj_is_involution(self, data):
+        values = data.draw(complex_arrays((2, 3)))
+        np.testing.assert_allclose(Tensor(values).conj().conj().data, values)
+
+
+class TestGradientProperties:
+    @_settings
+    @given(st.data())
+    def test_gradcheck_random_smooth_chain(self, data):
+        values = data.draw(
+            hnp.arrays(np.float64, (3, 3), elements=st.floats(-2.0, 2.0, allow_nan=False))
+        )
+        x = Tensor(values, requires_grad=True)
+        assert check_gradients(lambda x: ((x * 0.5).tanh() * x.cos()).sum(), [x], atol=1e-5)
+
+    @_settings
+    @given(st.data())
+    def test_softmax_gradient_rows_sum_to_zero(self, data):
+        values = data.draw(hnp.arrays(np.float64, (2, 4), elements=st.floats(-3, 3, allow_nan=False)))
+        weights = data.draw(hnp.arrays(np.float64, (2, 4), elements=st.floats(-1, 1, allow_nan=False)))
+        x = Tensor(values, requires_grad=True)
+        (F.softmax(x) * Tensor(weights)).sum().backward()
+        # Softmax output is shift invariant, so its gradient has zero row sum.
+        np.testing.assert_allclose(x.grad.sum(axis=-1), 0.0, atol=1e-10)
+
+    @_settings
+    @given(st.data())
+    def test_linearity_of_gradients(self, data):
+        values = data.draw(hnp.arrays(np.float64, (4,), elements=st.floats(-2, 2, allow_nan=False)))
+        scale = data.draw(st.floats(min_value=0.5, max_value=3.0))
+        x1 = Tensor(values, requires_grad=True)
+        (x1.sum() * scale).backward()
+        x2 = Tensor(values, requires_grad=True)
+        x2.sum().backward()
+        np.testing.assert_allclose(x1.grad, np.asarray(x2.grad) * scale, rtol=1e-10)

@@ -1,0 +1,192 @@
+"""Tests for device profiles, Gumbel-Softmax quantization, and noise models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.autograd import Tensor
+from repro.codesign import (
+    DetectorNoiseModel,
+    DeviceProfile,
+    FabricationVariation,
+    PhaseNoiseModel,
+    gumbel_softmax_probabilities,
+    hard_assignment,
+    ideal_profile,
+    post_training_quantize,
+    quantization_error,
+    slm_profile,
+    thz_mask_profile,
+)
+
+
+class TestDeviceProfile:
+    def test_requires_at_least_two_levels(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(phases=np.array([0.0]))
+
+    def test_default_amplitudes_are_unity(self):
+        profile = DeviceProfile(phases=np.linspace(0, np.pi, 4))
+        np.testing.assert_allclose(profile.amplitudes, 1.0)
+
+    def test_amplitude_shape_checked(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(phases=np.zeros(4), amplitudes=np.ones(3))
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(phases=np.zeros(3), amplitudes=np.array([1.0, -0.1, 1.0]))
+
+    def test_control_values_shape_checked(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(phases=np.zeros(4), control_values=np.zeros(2))
+
+    def test_complex_responses(self):
+        profile = DeviceProfile(phases=np.array([0.0, np.pi / 2]), amplitudes=np.array([1.0, 0.5]))
+        responses = profile.complex_responses()
+        np.testing.assert_allclose(responses, [1.0, 0.5j], atol=1e-12)
+
+    def test_phase_coverage(self):
+        profile = ideal_profile(num_levels=4, coverage=2 * np.pi)
+        assert profile.phase_coverage == pytest.approx(2 * np.pi * 3 / 4)
+
+    def test_nearest_level_is_circular(self):
+        profile = ideal_profile(num_levels=8)
+        # A phase just below 2 pi is circularly closest to level 0.
+        index = profile.nearest_level(np.array(2 * np.pi - 0.01))
+        assert index == 0
+
+    def test_control_for_levels_requires_calibration(self):
+        profile = DeviceProfile(phases=np.linspace(0, 1, 4))
+        with pytest.raises(ValueError):
+            profile.control_for_levels(np.array([0, 1]))
+
+    def test_slm_profile_monotonic_voltage(self):
+        profile = slm_profile(num_levels=64)
+        assert profile.control_unit == "V"
+        assert np.all(np.diff(profile.control_values) > 0)
+        assert profile.phase_coverage > np.pi  # close to 2 pi coverage
+
+    def test_slm_profile_seeded_jitter_is_reproducible(self):
+        a = slm_profile(num_levels=32, seed=1)
+        b = slm_profile(num_levels=32, seed=1)
+        np.testing.assert_allclose(a.phases, b.phases)
+
+    def test_slm_profile_nonlinear_response(self):
+        profile = slm_profile(num_levels=128, nonlinearity=0.3)
+        steps = np.diff(profile.phases)
+        # Nonlinear response: step sizes vary noticeably across the range.
+        assert steps.max() > 1.5 * steps.min()
+
+    def test_thz_mask_profile_thickness_calibration(self):
+        profile = thz_mask_profile(num_levels=8, wavelength=400e-6, refractive_index=1.7)
+        assert profile.control_unit == "m"
+        # One full wave of phase at the maximum printable thickness step.
+        np.testing.assert_allclose(profile.phases[-1], 2 * np.pi * 7 / 8, rtol=1e-6)
+
+
+class TestGumbelSoftmax:
+    def test_probabilities_sum_to_one(self, rng):
+        logits = Tensor(rng.normal(size=(4, 4, 6)))
+        probabilities = gumbel_softmax_probabilities(logits, rng=rng)
+        np.testing.assert_allclose(probabilities.data.sum(axis=-1), 1.0)
+
+    def test_deterministic_without_rng(self, rng):
+        logits = Tensor(rng.normal(size=(3, 5)))
+        a = gumbel_softmax_probabilities(logits).data
+        b = gumbel_softmax_probabilities(logits).data
+        np.testing.assert_allclose(a, b)
+
+    def test_temperature_sharpens_distribution(self, rng):
+        logits = Tensor(rng.normal(size=(10, 4)))
+        hot = gumbel_softmax_probabilities(logits, temperature=5.0).data
+        cold = gumbel_softmax_probabilities(logits, temperature=0.1).data
+        assert cold.max(axis=-1).mean() > hot.max(axis=-1).mean()
+
+    def test_invalid_temperature_rejected(self, rng):
+        with pytest.raises(ValueError):
+            gumbel_softmax_probabilities(Tensor(rng.normal(size=(2, 3))), temperature=0.0)
+
+    def test_gradients_flow_through_probabilities(self, rng):
+        logits = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        weights = rng.normal(size=(3, 4))
+        (gumbel_softmax_probabilities(logits) * Tensor(weights)).sum().backward()
+        assert logits.grad is not None
+
+    def test_hard_assignment_matches_argmax(self, rng):
+        logits = rng.normal(size=(5, 7))
+        np.testing.assert_array_equal(hard_assignment(logits), logits.argmax(axis=-1))
+
+
+class TestPostTrainingQuantization:
+    def test_quantized_values_are_levels(self, rng):
+        levels = np.linspace(0, 2 * np.pi, 16, endpoint=False)
+        phase = rng.uniform(0, 2 * np.pi, size=(8, 8))
+        quantized = post_training_quantize(phase, levels)
+        assert set(np.unique(quantized)).issubset(set(levels))
+
+    def test_error_decreases_with_more_levels(self, rng):
+        phase = rng.uniform(0, 2 * np.pi, size=(16, 16))
+        coarse = quantization_error(phase, np.linspace(0, 2 * np.pi, 4, endpoint=False))
+        fine = quantization_error(phase, np.linspace(0, 2 * np.pi, 64, endpoint=False))
+        assert fine < coarse
+
+    def test_error_zero_when_phase_on_levels(self):
+        levels = np.linspace(0, 2 * np.pi, 8, endpoint=False)
+        assert quantization_error(levels.copy(), levels) == pytest.approx(0.0, abs=1e-12)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=64))
+    def test_error_bounded_by_half_step(self, num_levels):
+        levels = np.linspace(0, 2 * np.pi, num_levels, endpoint=False)
+        phase = np.random.default_rng(0).uniform(0, 2 * np.pi, size=64)
+        error = quantization_error(phase, levels)
+        assert error <= (np.pi / num_levels) + 1e-9
+
+
+class TestNoiseModels:
+    def test_detector_noise_level_zero_is_identity(self, rng):
+        pattern = rng.uniform(size=(8, 8))
+        noisy = DetectorNoiseModel(level=0.0).apply(pattern)
+        np.testing.assert_allclose(noisy, pattern)
+
+    def test_detector_noise_bounded(self, rng):
+        pattern = rng.uniform(size=(16, 16))
+        noisy = DetectorNoiseModel(level=0.05, seed=0).apply(pattern)
+        assert np.all(noisy >= 0)
+        assert np.all(noisy - pattern <= 0.05 * pattern.max() + 1e-12)
+
+    def test_detector_noise_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            DetectorNoiseModel(level=-0.1)
+
+    def test_phase_noise_statistics(self):
+        model = PhaseNoiseModel(sigma=0.1, bias=0.5, seed=0)
+        phase = np.zeros((64, 64))
+        noisy = model.apply(phase)
+        assert noisy.mean() == pytest.approx(0.5, abs=0.02)
+        assert noisy.std() == pytest.approx(0.1, rel=0.15)
+
+    def test_phase_noise_zero_is_copy(self):
+        phase = np.ones((4, 4))
+        noisy = PhaseNoiseModel().apply(phase)
+        np.testing.assert_allclose(noisy, phase)
+        assert noisy is not phase
+
+    def test_phase_noise_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseNoiseModel(sigma=-1.0)
+
+    def test_fabrication_variation_frozen_by_seed(self):
+        variation = FabricationVariation(amplitude_sigma=0.05, phase_sigma=0.1, seed=3)
+        a = variation.sample((8, 8))
+        b = variation.sample((8, 8))
+        np.testing.assert_allclose(a, b)
+
+    def test_fabrication_variation_magnitude_close_to_one(self):
+        sample = FabricationVariation(amplitude_sigma=0.02, phase_sigma=0.02, seed=0).sample((32, 32))
+        assert np.abs(sample).mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_fabrication_variation_zero_is_identity(self):
+        sample = FabricationVariation().sample((4, 4))
+        np.testing.assert_allclose(sample, 1.0)

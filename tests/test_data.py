@@ -1,0 +1,180 @@
+"""Tests for the synthetic datasets and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DataSplit,
+    SCENE_CLASSES,
+    batch_iterator,
+    load_digits,
+    load_fashion,
+    load_scenes,
+    load_segmentation_scenes,
+    render_digit,
+    render_garment,
+    train_test_split,
+)
+from repro.data.cityscapes import render_street_scene
+from repro.data.scenes import render_scene
+
+
+class TestDigits:
+    def test_shapes_and_ranges(self, tiny_digits):
+        train_x, train_y, test_x, test_y = tiny_digits
+        assert train_x.shape == (150, 32, 32)
+        assert test_x.shape == (50, 32, 32)
+        assert train_x.min() >= 0.0 and train_x.max() <= 1.0
+        assert set(np.unique(train_y)).issubset(set(range(10)))
+
+    def test_deterministic_for_seed(self):
+        a = load_digits(num_train=20, num_test=10, seed=3)
+        b = load_digits(num_train=20, num_test=10, seed=3)
+        np.testing.assert_allclose(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seed_differs(self):
+        a = load_digits(num_train=20, num_test=10, seed=3)
+        b = load_digits(num_train=20, num_test=10, seed=4)
+        assert not np.allclose(a[0], b[0])
+
+    def test_classes_roughly_balanced(self):
+        _, labels, _, _ = load_digits(num_train=200, num_test=0, seed=0)
+        counts = np.bincount(labels, minlength=10)
+        assert counts.min() >= 15
+
+    def test_render_digit_deterministic_without_rng(self):
+        np.testing.assert_allclose(render_digit(3), render_digit(3))
+
+    def test_render_digit_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            render_digit(10)
+
+    def test_classes_are_visually_distinct(self):
+        """Clean glyphs of different digits must differ in many pixels."""
+        glyphs = [render_digit(d, size=28) for d in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert np.abs(glyphs[i] - glyphs[j]).sum() > 5
+
+    def test_perturbed_samples_vary_within_class(self):
+        rng = np.random.default_rng(0)
+        a = render_digit(5, rng=rng)
+        b = render_digit(5, rng=rng)
+        assert not np.allclose(a, b)
+
+
+class TestFashion:
+    def test_shapes_and_labels(self, tiny_fashion):
+        train_x, train_y, test_x, test_y = tiny_fashion
+        assert train_x.shape == (60, 32, 32)
+        assert set(np.unique(train_y)).issubset(set(range(10)))
+
+    def test_render_garment_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            render_garment(11)
+
+    def test_all_classes_render_nonempty(self):
+        for index in range(10):
+            assert render_garment(index, size=28).sum() > 0
+
+    def test_confusable_class_pairs_exist(self):
+        """Several garment pairs (t-shirt/shirt, sneaker/boot) intentionally
+        share silhouette structure, which is what makes the dataset harder
+        than the digits, mirroring the paper's MNIST/FMNIST accuracy gap."""
+
+        def overlap(a_index, b_index):
+            a = render_garment(a_index, 28) > 0.5
+            b = render_garment(b_index, 28) > 0.5
+            return np.logical_and(a, b).sum() / max(1, np.logical_or(a, b).sum())
+
+        assert overlap(0, 6) > 0.6  # t-shirt vs shirt
+        assert overlap(7, 9) > 0.4  # sneaker vs ankle boot
+        assert overlap(1, 8) < 0.5  # trouser vs bag stay distinguishable
+
+
+class TestScenes:
+    def test_shapes_and_channels(self):
+        train_x, train_y, test_x, test_y = load_scenes(num_train=12, num_test=6, size=32, seed=0)
+        assert train_x.shape == (12, 3, 32, 32)
+        assert train_x.min() >= 0.0 and train_x.max() <= 1.0
+
+    def test_num_classes_argument(self):
+        _, labels, _, _ = load_scenes(num_train=20, num_test=0, size=32, num_classes=4, seed=0)
+        assert set(np.unique(labels)).issubset(set(range(4)))
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValueError):
+            load_scenes(num_classes=0)
+        with pytest.raises(ValueError):
+            load_scenes(num_classes=len(SCENE_CLASSES) + 1)
+
+    def test_render_scene_rejects_invalid_class(self):
+        with pytest.raises(ValueError):
+            render_scene(len(SCENE_CLASSES))
+
+    def test_channels_carry_distinct_information(self):
+        """Across scene classes the per-channel mean intensities must differ,
+        otherwise the RGB split of Figure 12 would be pointless."""
+        rng = np.random.default_rng(0)
+        channel_means = np.array(
+            [render_scene(c, size=32, rng=rng).mean(axis=(1, 2)) for c in range(len(SCENE_CLASSES))]
+        )
+        assert channel_means.std(axis=0).max() > 0.05
+
+
+class TestSegmentationScenes:
+    def test_shapes_and_mask_values(self, tiny_segmentation):
+        images, masks = tiny_segmentation
+        assert images.shape == masks.shape == (12, 32, 32)
+        assert set(np.unique(masks)).issubset({0.0, 1.0})
+
+    def test_masks_mark_buildings(self):
+        rng = np.random.default_rng(1)
+        image, mask = render_street_scene(size=64, rng=rng)
+        assert 0.05 < mask.mean() < 0.8  # buildings cover a plausible fraction
+
+    def test_deterministic_for_seed(self):
+        a = load_segmentation_scenes(num_samples=4, size=32, seed=5)
+        b = load_segmentation_scenes(num_samples=4, size=32, seed=5)
+        np.testing.assert_allclose(a[0], b[0])
+        np.testing.assert_allclose(a[1], b[1])
+
+
+class TestLoaders:
+    def test_train_test_split_sizes(self, rng):
+        inputs = rng.normal(size=(50, 4))
+        labels = rng.integers(0, 3, size=50)
+        split = train_test_split(inputs, labels, test_fraction=0.2, seed=0)
+        assert len(split.train_inputs) == 40
+        assert len(split.test_inputs) == 10
+        assert split.num_classes == labels.max() + 1
+
+    def test_train_test_split_validation(self, rng):
+        inputs = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            train_test_split(inputs, np.zeros(9))
+        with pytest.raises(ValueError):
+            train_test_split(inputs, np.zeros(10), test_fraction=0.0)
+
+    def test_data_split_length_check(self):
+        with pytest.raises(ValueError):
+            DataSplit(np.zeros((3, 2)), np.zeros(2), np.zeros((1, 2)), np.zeros(1))
+
+    def test_batch_iterator_covers_dataset(self, rng):
+        inputs = rng.normal(size=(23, 3))
+        labels = np.arange(23)
+        seen = []
+        for batch_inputs, batch_labels in batch_iterator(inputs, labels, batch_size=5, shuffle=True, seed=0):
+            assert len(batch_inputs) == len(batch_labels)
+            seen.extend(batch_labels.tolist())
+        assert sorted(seen) == list(range(23))
+
+    def test_batch_iterator_without_labels(self, rng):
+        batches = list(batch_iterator(rng.normal(size=(8, 2)), batch_size=3, shuffle=False))
+        assert batches[0][1] is None
+        assert sum(len(batch) for batch, _ in batches) == 8
+
+    def test_batch_iterator_invalid_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            list(batch_iterator(rng.normal(size=(8, 2)), batch_size=0))

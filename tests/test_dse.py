@@ -1,0 +1,235 @@
+"""Tests for the DSE engine: GBR, design space, analytical model, sensitivity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dse import (
+    AnalyticalDSEModel,
+    DecisionTreeRegressor,
+    DesignPoint,
+    DesignSpace,
+    GradientBoostingRegressor,
+    diffraction_spread_units,
+    physics_prior_accuracy,
+    run_analytical_dse,
+    sensitivity_analysis,
+    sweep_design_space,
+)
+from repro.dse.sensitivity import most_sensitive_parameter
+
+
+class TestDecisionTree:
+    def test_fits_a_step_function_exactly(self):
+        features = np.linspace(0, 1, 50)[:, None]
+        targets = (features[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(max_depth=2).fit(features, targets)
+        np.testing.assert_allclose(tree.predict(np.array([[0.1], [0.9]])), [0.0, 1.0])
+
+    def test_constant_targets_give_constant_prediction(self):
+        features = np.random.default_rng(0).normal(size=(20, 3))
+        tree = DecisionTreeRegressor().fit(features, np.full(20, 2.5))
+        np.testing.assert_allclose(tree.predict(features), 2.5)
+
+    def test_depth_limits_tree_expressiveness(self, rng):
+        features = rng.uniform(size=(100, 1))
+        targets = np.sin(8 * features[:, 0])
+        shallow = DecisionTreeRegressor(max_depth=1).fit(features, targets)
+        deep = DecisionTreeRegressor(max_depth=5).fit(features, targets)
+        mse = lambda model: float(((model.predict(features) - targets) ** 2).mean())
+        assert mse(deep) < mse(shallow)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+    def test_validation_of_inputs(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_single_row_prediction_shape(self, rng):
+        tree = DecisionTreeRegressor().fit(rng.normal(size=(10, 2)), rng.normal(size=10))
+        assert tree.predict(np.zeros(2)).shape == (1,)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=5, max_value=40))
+    def test_predictions_within_target_range(self, count):
+        rng = np.random.default_rng(count)
+        features = rng.uniform(size=(count, 2))
+        targets = rng.uniform(size=count)
+        tree = DecisionTreeRegressor(max_depth=3).fit(features, targets)
+        predictions = tree.predict(features)
+        assert predictions.min() >= targets.min() - 1e-9
+        assert predictions.max() <= targets.max() + 1e-9
+
+
+class TestGradientBoosting:
+    def test_improves_over_mean_predictor(self, rng):
+        features = rng.uniform(size=(80, 2))
+        targets = np.sin(3 * features[:, 0]) + 0.5 * features[:, 1]
+        model = GradientBoostingRegressor(n_estimators=100, learning_rate=0.2, max_depth=2).fit(features, targets)
+        mean_mse = float(((targets - targets.mean()) ** 2).mean())
+        model_mse = float(((model.predict(features) - targets) ** 2).mean())
+        assert model_mse < 0.1 * mean_mse
+
+    def test_score_is_r_squared(self, rng):
+        features = rng.uniform(size=(60, 2))
+        targets = features[:, 0] * 2.0
+        model = GradientBoostingRegressor(n_estimators=150, learning_rate=0.2).fit(features, targets)
+        assert model.score(features, targets) > 0.9
+
+    def test_more_estimators_fit_better(self, rng):
+        features = rng.uniform(size=(60, 1))
+        targets = np.cos(5 * features[:, 0])
+        few = GradientBoostingRegressor(n_estimators=5, learning_rate=0.2).fit(features, targets)
+        many = GradientBoostingRegressor(n_estimators=200, learning_rate=0.2).fit(features, targets)
+        assert many.score(features, targets) > few.score(features, targets)
+
+    def test_subsample_runs_and_is_seeded(self, rng):
+        features = rng.uniform(size=(40, 2))
+        targets = features.sum(axis=1)
+        a = GradientBoostingRegressor(n_estimators=30, subsample=0.7, random_state=1).fit(features, targets)
+        b = GradientBoostingRegressor(n_estimators=30, subsample=0.7, random_state=1).fit(features, targets)
+        np.testing.assert_allclose(a.predict(features), b.predict(features))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=1.5)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostingRegressor().predict(np.zeros((1, 3)))
+
+
+class TestDesignSpace:
+    def test_paper_grid_has_121_points(self):
+        assert DesignSpace(wavelength=532e-9).num_points == 121
+
+    def test_unit_sizes_scale_with_wavelength(self):
+        space = DesignSpace(wavelength=632e-9, unit_sizes_in_wavelengths=(10.0, 20.0))
+        np.testing.assert_allclose(space.unit_sizes(), [6.32e-6, 12.64e-6])
+
+    def test_grid_enumerates_all_pairs(self):
+        space = DesignSpace(wavelength=532e-9, unit_sizes_in_wavelengths=(10, 20), distances=(0.1, 0.2, 0.3))
+        assert len(space.grid()) == 6
+
+    def test_design_point_features(self):
+        point = DesignPoint(wavelength=1.0, unit_size=2.0, distance=3.0, accuracy=0.5)
+        np.testing.assert_allclose(point.features(), [1.0, 2.0, 3.0])
+
+    def test_spread_units_physics(self):
+        # Larger unit size -> smaller diffraction angle -> smaller spread.
+        small_unit = diffraction_spread_units(532e-9, 10e-6, 0.3)
+        large_unit = diffraction_spread_units(532e-9, 50e-6, 0.3)
+        assert small_unit > large_unit
+        with pytest.raises(ValueError):
+            diffraction_spread_units(532e-9, 0.0, 0.3)
+
+    def test_prior_accuracy_peaks_at_moderate_spread(self):
+        wavelength = 532e-9
+        unit = 36e-6
+        # Optimal distance by the half-cone theory: spread ~ 30 units.
+        theta = np.arcsin(wavelength / (2 * unit))
+        optimal_distance = 30.0 * unit / np.tan(theta)
+        best = physics_prior_accuracy(wavelength, unit, optimal_distance)
+        too_close = physics_prior_accuracy(wavelength, unit, optimal_distance / 100)
+        too_far = physics_prior_accuracy(wavelength, unit, optimal_distance * 100)
+        assert best > 0.9
+        assert too_close < best and too_far < best
+
+    def test_prior_accuracy_bounded(self):
+        for distance in (0.001, 0.1, 10.0):
+            value = physics_prior_accuracy(532e-9, 36e-6, distance)
+            assert 0.05 <= value <= 1.0
+
+    def test_sweep_returns_point_per_grid_cell(self):
+        space = DesignSpace(wavelength=532e-9, unit_sizes_in_wavelengths=(20, 60), distances=(0.1, 0.3))
+        points = sweep_design_space(space)
+        assert len(points) == 4
+        assert all(0 <= point.accuracy <= 1 for point in points)
+
+    def test_sweep_with_custom_evaluator(self):
+        space = DesignSpace(wavelength=532e-9, unit_sizes_in_wavelengths=(20,), distances=(0.1, 0.2))
+        points = sweep_design_space(space, evaluator=lambda wl, d, z: z)
+        assert [point.accuracy for point in points] == [0.1, 0.2]
+
+
+class TestAnalyticalDSE:
+    def test_model_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            AnalyticalDSEModel().fit([DesignPoint(1, 1, 1, 0.5)] * 3)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            AnalyticalDSEModel().predict(532e-9, 36e-6, 0.3)
+
+    def test_interpolates_to_new_wavelength(self):
+        """Train on 432/632 nm surrogate sweeps, predict 532 nm: predictions
+        must correlate strongly with the true 532 nm landscape (Figure 5c vs 5d)."""
+        result = run_analytical_dse(
+            training_wavelengths=(432e-9, 632e-9),
+            target_wavelength=532e-9,
+            model=AnalyticalDSEModel(n_estimators=150),
+        )
+        predicted = np.array([p.accuracy for p in result.predicted_points])
+        truth = np.array([physics_prior_accuracy(532e-9, p.unit_size, p.distance) for p in result.predicted_points])
+        correlation = np.corrcoef(predicted, truth)[0, 1]
+        assert correlation > 0.9
+
+    def test_recommend_returns_sorted_top_k(self):
+        model = AnalyticalDSEModel(n_estimators=60)
+        points = sweep_design_space(DesignSpace(wavelength=432e-9)) + sweep_design_space(DesignSpace(wavelength=632e-9))
+        model.fit(points)
+        recommendations = model.recommend(DesignSpace(wavelength=532e-9), top_k=3)
+        assert len(recommendations) == 3
+        accuracies = [point.accuracy for point in recommendations]
+        assert accuracies == sorted(accuracies, reverse=True)
+
+    def test_dse_finds_near_optimal_point_with_few_emulations(self):
+        result = run_analytical_dse(
+            training_wavelengths=(432e-9, 632e-9),
+            target_wavelength=532e-9,
+            verification_budget=2,
+            model=AnalyticalDSEModel(n_estimators=150),
+        )
+        grid_best = max(
+            physics_prior_accuracy(532e-9, d, z) for d, z in DesignSpace(wavelength=532e-9).grid()
+        )
+        assert result.best_point.accuracy >= grid_best - 0.1
+        assert result.emulation_iterations == 2
+        assert result.speedup_vs_grid_search == pytest.approx(121 / 2)
+
+
+class TestSensitivity:
+    def test_rows_cover_all_parameters_and_shifts(self):
+        rows = sensitivity_analysis(532e-9, 36e-6, 0.3)
+        assert len(rows) == 15
+        assert {row.parameter for row in rows} == {"wavelength", "distance", "unit_size"}
+
+    def test_zero_shift_rows_share_baseline_accuracy(self):
+        rows = sensitivity_analysis(532e-9, 36e-6, 0.3)
+        nominal = {row.accuracy for row in rows if row.shift == 0.0}
+        assert len(nominal) == 1
+
+    def test_unit_size_is_most_sensitive(self):
+        """Table 3's qualitative finding: the diffraction unit size is the
+        most sensitive of the three parameters."""
+        theta = np.arcsin(532e-9 / (2 * 36e-6))
+        best_distance = 30.0 * 36e-6 / np.tan(theta)
+        rows = sensitivity_analysis(532e-9, 36e-6, best_distance)
+        assert most_sensitive_parameter(rows) == "unit_size"
+
+    def test_custom_evaluator_used(self):
+        rows = sensitivity_analysis(1.0, 2.0, 3.0, evaluator=lambda wl, d, z: wl + d + z)
+        baseline = [row for row in rows if row.shift == 0.0][0]
+        assert baseline.accuracy == pytest.approx(6.0)

@@ -1,0 +1,170 @@
+"""Tests for the DSL builder / design flow and the shared utilities."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.dsl import DesignFlow, build_config, build_detector, build_donn, spec_from_config
+from repro.layers import CodesignDiffractiveLayer, DiffractiveLayer
+from repro.models import DONN, DONNConfig
+from repro.utils import ascii_heatmap, format_table, load_model_into, pattern_summary, save_model
+
+
+BASE_SPEC = {
+    "sys_size": 32,
+    "pixel_size": 36e-6,
+    "distance": 0.05,
+    "wavelength": 532e-9,
+    "num_layers": 2,
+    "num_classes": 10,
+    "det_size": 4,
+    "seed": 0,
+}
+
+
+class TestBuilder:
+    def test_build_config_from_spec(self):
+        config = build_config(BASE_SPEC)
+        assert config.sys_size == 32
+        assert config.num_layers == 2
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError):
+            build_config({**BASE_SPEC, "warp_factor": 9})
+
+    def test_build_donn_raw_layers_by_default(self):
+        model = build_donn(BASE_SPEC)
+        assert isinstance(model, DONN)
+        assert all(isinstance(layer, DiffractiveLayer) for layer in model.diffractive_layers)
+
+    def test_build_donn_codesign_layers(self):
+        model = build_donn({**BASE_SPEC, "codesign": True, "device": {"kind": "slm", "levels": 16}})
+        assert all(isinstance(layer, CodesignDiffractiveLayer) for layer in model.diffractive_layers)
+        assert model.device_profile.num_levels == 16
+
+    def test_build_donn_codesign_without_device_uses_default_slm(self):
+        model = build_donn({**BASE_SPEC, "codesign": True})
+        assert model.device_profile is not None
+
+    def test_unknown_device_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_donn({**BASE_SPEC, "codesign": True, "device": {"kind": "hologram"}})
+
+    def test_detector_from_explicit_regions(self):
+        config = build_config(BASE_SPEC)
+        detector = build_detector(config, {"regions": [{"x": 8, "y": 8, "size": 4}, {"x": 20, "y": 20, "size": 4}]})
+        assert detector.num_classes == 2
+
+    def test_detector_from_xy_lists(self):
+        config = build_config(BASE_SPEC)
+        detector = build_detector(config, {"x_loc": [8, 16, 24], "y_loc": [8, 16, 24], "det_size": 4})
+        assert detector.num_classes == 3
+
+    def test_detector_default_layout(self):
+        config = build_config(BASE_SPEC)
+        assert build_detector(config).num_classes == config.num_classes
+
+    def test_spec_roundtrip(self):
+        config = build_config(BASE_SPEC)
+        assert build_config(spec_from_config(config)) == config
+
+    def test_forward_pass_of_built_model(self, tiny_digits):
+        model = build_donn(BASE_SPEC)
+        logits = model(tiny_digits[0][:2])
+        assert logits.shape == (2, 10)
+
+
+class TestDesignFlow:
+    def test_end_to_end_flow_produces_all_artifacts(self, tiny_digits, tmp_path):
+        train_x, train_y, test_x, test_y = tiny_digits
+        base = DONNConfig(
+            sys_size=32, pixel_size=36e-6, distance=0.05, wavelength=532e-9, num_layers=2, det_size=4, seed=0
+        )
+        flow = DesignFlow(base_config=base, run_dse=False, seed=0)
+        result = flow.run(
+            train_x[:60],
+            train_y[:60],
+            test_x[:20],
+            test_y[:20],
+            raw_epochs=2,
+            codesign_epochs=1,
+            fabrication_dir=tmp_path,
+            codesign=True,
+            validate_deployment=True,
+        )
+        assert result.raw_training.losses
+        assert result.codesign_training is not None
+        assert result.deployment is not None
+        assert result.fabrication_files and all(path.exists() for path in result.fabrication_files)
+        assert 0.0 <= result.deployment.hardware_accuracy <= 1.0
+
+    def test_flow_with_dse_updates_config(self, tiny_digits):
+        train_x, train_y, test_x, test_y = tiny_digits
+        base = DONNConfig(
+            sys_size=32, pixel_size=36e-6, distance=0.05, wavelength=532e-9, num_layers=2, det_size=4, seed=0
+        )
+        flow = DesignFlow(base_config=base, run_dse=True, seed=0)
+        result = flow.run(
+            train_x[:40], train_y[:40], test_x[:20], test_y[:20],
+            raw_epochs=1, codesign=False, validate_deployment=False,
+        )
+        assert result.dse_result is not None
+        assert result.config.distance == pytest.approx(result.dse_result.best_point.distance)
+
+    def test_flow_without_codesign_deploys_raw_model(self, tiny_digits):
+        train_x, train_y, test_x, test_y = tiny_digits
+        base = DONNConfig(sys_size=32, pixel_size=36e-6, distance=0.05, num_layers=2, det_size=4, seed=0)
+        flow = DesignFlow(base_config=base, run_dse=False)
+        result = flow.run(
+            train_x[:40], train_y[:40], test_x[:20], test_y[:20],
+            raw_epochs=1, codesign=False, validate_deployment=True,
+        )
+        assert result.codesign_training is None
+        assert result.deployment is not None
+
+
+class TestVisualization:
+    def test_ascii_heatmap_dimensions(self, rng):
+        art = ascii_heatmap(rng.uniform(size=(64, 64)), width=20, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 20 for line in lines)
+
+    def test_ascii_heatmap_constant_input(self):
+        art = ascii_heatmap(np.zeros((8, 8)))
+        assert set(art) <= {" ", "\n"}
+
+    def test_ascii_heatmap_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.zeros(8))
+
+    def test_pattern_summary_fields(self, rng):
+        summary = pattern_summary(rng.uniform(size=(8, 8)))
+        assert set(summary) == {"total", "peak", "mean", "contrast"}
+        assert summary["peak"] >= summary["mean"]
+
+    def test_format_table_alignment_and_content(self):
+        rows = [{"name": "a", "value": 1.23456}, {"name": "long-name", "value": 2.0, "extra": "x"}]
+        table = format_table(rows)
+        assert "long-name" in table
+        assert "1.235" in table
+        assert len(table.splitlines()) == 4  # header + separator + 2 rows
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(empty table)"
+
+
+class TestSerialization:
+    def test_save_and_load_roundtrip(self, small_config, tmp_path):
+        source = DONN(small_config)
+        path = save_model(source, tmp_path / "model.npz")
+        target = DONN(small_config.with_updates(seed=small_config.seed + 1))
+        assert not np.allclose(source.phase_patterns()[0], target.phase_patterns()[0])
+        load_model_into(target, path)
+        np.testing.assert_allclose(source.phase_patterns()[0], target.phase_patterns()[0])
+
+    def test_load_appends_npz_suffix(self, small_config, tmp_path):
+        source = DONN(small_config)
+        save_model(source, tmp_path / "weights")
+        target = DONN(small_config)
+        load_model_into(target, tmp_path / "weights")

@@ -1,0 +1,262 @@
+"""Tests for the hardware backend: SLM, camera, deployment, on-chip, energy."""
+
+import numpy as np
+import pytest
+
+from repro.codesign import DeviceProfile, FabricationVariation, ideal_profile, slm_profile, thz_mask_profile
+from repro.hardware import (
+    CMOSCamera,
+    DIGITAL_PLATFORMS,
+    DONNPowerModel,
+    HardwareTestbench,
+    OnChipIntegrationSpec,
+    PlatformPowerModel,
+    SLM,
+    design_onchip_system,
+    deployment_report,
+    dump_mask_thickness,
+    dump_slm_configuration,
+    energy_efficiency_table,
+    to_system,
+)
+from repro.models import DONN, DONNConfig
+from repro.optics import SpatialGrid
+
+
+class TestSLM:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return SpatialGrid(size=16, pixel_size=36e-6)
+
+    def test_program_phase_shapes(self, grid, rng):
+        slm = SLM(grid, profile=slm_profile(num_levels=32))
+        configuration = slm.program_phase(rng.uniform(0, 2 * np.pi, size=grid.shape))
+        assert configuration.level_indices.shape == grid.shape
+        assert configuration.voltages.shape == grid.shape
+        assert configuration.shape == grid.shape
+
+    def test_program_phase_shape_mismatch(self, grid):
+        slm = SLM(grid)
+        with pytest.raises(ValueError):
+            slm.program_phase(np.zeros((4, 4)))
+
+    def test_programmed_phase_close_to_target(self, grid, rng):
+        profile = slm_profile(num_levels=256)
+        slm = SLM(grid, profile=profile)
+        target = rng.uniform(0.1, 2 * np.pi - 0.1, size=grid.shape)
+        configuration = slm.program_phase(target)
+        error = np.abs(np.angle(np.exp(1j * (configuration.phases - target))))
+        assert error.max() < 0.1  # 256 levels -> fine quantisation
+
+    def test_program_levels_validation(self, grid):
+        slm = SLM(grid, profile=ideal_profile(num_levels=8))
+        with pytest.raises(ValueError):
+            slm.program_levels(np.full(grid.shape, 9))
+        with pytest.raises(ValueError):
+            slm.program_levels(np.zeros((2, 2), dtype=int))
+
+    def test_program_levels_requires_control_calibration(self, grid):
+        profile = ideal_profile(num_levels=8)  # no control values
+        slm = SLM(grid, profile=profile)
+        with pytest.raises(ValueError):
+            slm.program_levels(np.zeros(grid.shape, dtype=int))
+
+    def test_ideal_panel_applies_programmed_phase(self, grid, rng):
+        profile = slm_profile(num_levels=64)
+        slm = SLM(grid, profile=profile, variation=None)
+        configuration = slm.program_phase(rng.uniform(0, 2 * np.pi, size=grid.shape))
+        modulation = slm.applied_modulation(configuration)
+        np.testing.assert_allclose(np.angle(modulation) % (2 * np.pi), configuration.phases % (2 * np.pi), atol=1e-9)
+
+    def test_fabrication_variation_perturbs_modulation(self, grid, rng):
+        profile = slm_profile(num_levels=64)
+        ideal_panel = SLM(grid, profile=profile)
+        real_panel = SLM(grid, profile=profile, variation=FabricationVariation(0.05, 0.1, seed=0))
+        configuration = ideal_panel.program_phase(rng.uniform(0, 2 * np.pi, size=grid.shape))
+        assert not np.allclose(ideal_panel.applied_modulation(configuration), real_panel.applied_modulation(configuration))
+
+    def test_modulate_applies_elementwise(self, grid, rng):
+        slm = SLM(grid)
+        configuration = slm.program_phase(np.zeros(grid.shape))
+        field = rng.normal(size=grid.shape).astype(complex)
+        np.testing.assert_allclose(slm.modulate(field, configuration), field * slm.applied_modulation(configuration))
+
+
+class TestCamera:
+    def test_capture_normalised_and_quantised(self, rng):
+        camera = CMOSCamera(bit_depth=8, shot_noise_scale=0.0, read_noise=0.0, seed=0)
+        pattern = rng.uniform(size=(16, 16))
+        frame = camera.capture(pattern)
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+        levels = np.unique(np.round(frame * 255) - frame * 255)
+        np.testing.assert_allclose(levels, 0.0, atol=1e-9)
+
+    def test_zero_pattern_returns_zeros(self):
+        camera = CMOSCamera(seed=0)
+        np.testing.assert_allclose(camera.capture(np.zeros((4, 4))), 0.0)
+
+    def test_noise_changes_frame(self, rng):
+        pattern = rng.uniform(size=(16, 16))
+        noiseless = CMOSCamera(shot_noise_scale=0.0, read_noise=0.0, seed=0).capture(pattern)
+        noisy = CMOSCamera(shot_noise_scale=0.05, read_noise=0.01, seed=0).capture(pattern)
+        assert not np.allclose(noiseless, noisy)
+
+    def test_invalid_bit_depth(self):
+        with pytest.raises(ValueError):
+            CMOSCamera(bit_depth=0)
+
+    def test_preserves_pattern_structure(self, rng):
+        camera = CMOSCamera(seed=1)
+        pattern = rng.uniform(size=(32, 32)) ** 2
+        frame = camera.capture(pattern)
+        correlation = np.corrcoef(frame.ravel(), pattern.ravel())[0, 1]
+        assert correlation > 0.98
+
+
+class TestDeployment:
+    @pytest.fixture(scope="class")
+    def trained_setup(self, tiny_digits):
+        config = DONNConfig(
+            sys_size=32, pixel_size=36e-6, distance=0.05, wavelength=532e-9, num_layers=2, det_size=4, seed=0
+        )
+        profile = slm_profile(num_levels=64)
+        model = DONN(config)
+        return model, profile
+
+    def test_to_system_produces_record_per_layer(self, trained_setup):
+        model, profile = trained_setup
+        records = to_system(model, profile)
+        assert len(records) == model.num_layers
+        for record in records:
+            assert record["level_indices"].shape == model.config.grid.shape
+            assert record["control_unit"] == "V"
+
+    def test_to_system_phases_are_device_levels(self, trained_setup):
+        model, profile = trained_setup
+        for record in to_system(model, profile):
+            assert set(np.unique(record["phases"])).issubset(set(profile.phases))
+
+    def test_dump_slm_configuration_writes_files(self, trained_setup, tmp_path):
+        model, profile = trained_setup
+        files = dump_slm_configuration(to_system(model, profile), tmp_path)
+        assert len(files) == 2 * model.num_layers
+        assert all(path.exists() for path in files)
+        loaded = np.load(files[0])
+        assert loaded.shape == model.config.grid.shape
+
+    def test_dump_mask_thickness_requires_thickness_device(self, trained_setup, tmp_path):
+        model, _ = trained_setup
+        thz = thz_mask_profile(num_levels=8)
+        files = dump_mask_thickness(to_system(model, thz), tmp_path)
+        assert len(files) == model.num_layers
+        slm_records = to_system(model, slm_profile(num_levels=8))
+        with pytest.raises(ValueError):
+            dump_mask_thickness(slm_records, tmp_path)
+
+    def test_testbench_requires_profile(self, trained_setup):
+        model, _ = trained_setup
+        with pytest.raises(ValueError):
+            HardwareTestbench(model, profile=None)
+
+    def test_hardware_pattern_shapes(self, trained_setup, tiny_digits):
+        model, profile = trained_setup
+        testbench = HardwareTestbench(model, profile=profile, seed=0)
+        frames = testbench.hardware_detector_pattern(tiny_digits[0][:3])
+        assert frames.shape == (3, 32, 32)
+        single = testbench.hardware_detector_pattern(tiny_digits[0][0])
+        assert single.shape == (32, 32)
+
+    def test_hardware_logits_and_predictions(self, trained_setup, tiny_digits):
+        model, profile = trained_setup
+        testbench = HardwareTestbench(model, profile=profile, seed=0)
+        logits = testbench.hardware_logits(tiny_digits[0][:4])
+        assert logits.shape == (4, 10)
+        predictions = testbench.predict(tiny_digits[0][:4])
+        assert predictions.shape == (4,)
+
+    def test_report_correlation_high_for_many_levels(self, trained_setup, tiny_digits):
+        """With a fine (256-level) device and small fabrication error the
+        emulated hardware must closely match the simulation (Figure 6)."""
+        model, _ = trained_setup
+        fine_profile = slm_profile(num_levels=256)
+        report = deployment_report(model, tiny_digits[0][:8], tiny_digits[1][:8], profile=fine_profile, seed=0)
+        assert report.pattern_correlation > 0.9
+        assert 0.0 <= report.hardware_accuracy <= 1.0
+        assert report.accuracy_gap == pytest.approx(report.simulation_accuracy - report.hardware_accuracy)
+
+    def test_coarse_device_reduces_correlation(self, trained_setup, tiny_digits):
+        model, _ = trained_setup
+        fine = deployment_report(model, tiny_digits[0][:6], tiny_digits[1][:6], profile=slm_profile(num_levels=256), seed=0)
+        coarse = deployment_report(model, tiny_digits[0][:6], tiny_digits[1][:6], profile=slm_profile(num_levels=4), seed=0)
+        assert coarse.pattern_correlation <= fine.pattern_correlation + 1e-6
+
+
+class TestOnChip:
+    def test_chip_dimensions_match_case_study_arithmetic(self):
+        """Section 5.5: 200 x 3.45 um pixels -> 690 um chip side."""
+        config = DONNConfig(sys_size=200, pixel_size=3.45e-6, distance=532e-6, wavelength=532e-9, num_layers=5)
+        spec = OnChipIntegrationSpec(config=config)
+        dims = spec.dimensions()
+        assert dims["side_um"] == pytest.approx(690.0)
+        assert dims["height_um"] == pytest.approx(5 * 532.0 + 5 * 1.0, rel=0.01)
+
+    def test_fits_detector(self):
+        config = DONNConfig(sys_size=200, pixel_size=3.45e-6, distance=532e-6, num_layers=5)
+        spec = OnChipIntegrationSpec(config=config)
+        assert spec.fits_detector(1e-3)
+        assert not spec.fits_detector(0.5e-3)
+
+    def test_fabrication_spec_fields(self):
+        config = DONNConfig(sys_size=100, pixel_size=3.45e-6, distance=500e-6, num_layers=5)
+        spec = OnChipIntegrationSpec(config=config).fabrication_spec()
+        assert spec["resolution"] == 100
+        assert spec["pixel_pitch_um"] == pytest.approx(3.45)
+        assert spec["num_layers"] == 5
+
+    def test_design_onchip_system_picks_micron_scale_distance(self):
+        spec = design_onchip_system(pixel_size=3.45e-6, wavelength=532e-9, num_layers=5)
+        assert spec.config.pixel_size == pytest.approx(3.45e-6)
+        # The diffraction distance must shrink to the sub-millimetre scale.
+        assert 1e-5 < spec.config.distance < 5e-3
+
+    def test_design_onchip_custom_score(self):
+        spec = design_onchip_system(
+            pixel_size=3.45e-6,
+            wavelength=532e-9,
+            candidate_distances=[1e-4, 2e-4],
+            candidate_resolutions=[100, 200],
+            score_fn=lambda config: config.sys_size,  # prefer largest resolution
+        )
+        assert spec.config.sys_size == 200
+
+
+class TestEnergyModel:
+    def test_donn_power_model_matches_paper_order(self):
+        model = DONNPowerModel()
+        assert model.fps_per_watt() == pytest.approx(995.0, rel=0.01)
+
+    def test_platform_fps_decreases_with_ops(self):
+        platform = DIGITAL_PLATFORMS["CPU Xeon"]
+        assert platform.frames_per_second(1e6) > platform.frames_per_second(1e9)
+
+    def test_platform_validation(self):
+        with pytest.raises(ValueError):
+            PlatformPowerModel("x", 1e9, 10.0).frames_per_second(0)
+
+    def test_table_rows_and_platforms(self):
+        rows = energy_efficiency_table(system_size=200)
+        platforms = [row["platform"] for row in rows]
+        assert platforms[-1] == "DONN prototype"
+        assert len(rows) == len(DIGITAL_PLATFORMS) + 1
+
+    def test_donn_beats_every_digital_platform(self):
+        """Table 4's headline: the DONN is 1-3 orders of magnitude more
+        efficient than every digital platform."""
+        rows = energy_efficiency_table(system_size=200)
+        for row in rows[:-1]:
+            assert row["donn_advantage_mlp"] > 10
+            assert row["donn_advantage_cnn"] > 10
+
+    def test_edge_tpu_closer_than_gpus(self):
+        rows = {row["platform"]: row for row in energy_efficiency_table(system_size=200)[:-1]}
+        assert rows["XPU (EdgeTPU)"]["donn_advantage_mlp"] < rows["GPU 3090 Ti"]["donn_advantage_mlp"]

@@ -1,0 +1,153 @@
+"""Cross-module integration tests: full pipelines exercised end to end."""
+
+import numpy as np
+import pytest
+
+from repro import DONN, DONNConfig, Trainer
+from repro.autograd import Tensor, no_grad
+from repro.baselines import LightPipesEmulator
+from repro.baselines.regularization import build_regularized_donn
+from repro.codesign import slm_profile
+from repro.dsl import build_donn
+from repro.hardware import HardwareTestbench, to_system
+from repro.train import evaluate_classifier
+from repro.utils import load_model_into, save_model
+
+
+class TestTrainSaveDeployPipeline:
+    """Train -> save -> reload -> deploy, checking consistency at each hop."""
+
+    @pytest.fixture(scope="class")
+    def trained(self, small_config, tiny_digits):
+        train_x, train_y, test_x, test_y = tiny_digits
+        model = build_regularized_donn(small_config, train_x[:8])
+        Trainer(model, num_classes=10, learning_rate=0.5, batch_size=25, seed=0).fit(train_x, train_y, epochs=4)
+        return model
+
+    def test_reloaded_model_reproduces_predictions(self, trained, small_config, tiny_digits, tmp_path):
+        test_x = tiny_digits[2][:10]
+        path = save_model(trained, tmp_path / "donn.npz")
+        clone = DONN(trained.config)
+        load_model_into(clone, path)
+        np.testing.assert_array_equal(trained.predict(test_x), clone.predict(test_x))
+
+    def test_deployment_records_match_trained_phases(self, trained):
+        profile = slm_profile(num_levels=256)
+        records = to_system(trained, profile)
+        for record, phase in zip(records, trained.phase_patterns()):
+            error = np.abs(np.angle(np.exp(1j * (record["phases"] - phase))))
+            assert error.max() < 0.1  # 256 levels quantise finely
+
+    def test_hardware_deployment_close_to_simulation(self, trained, tiny_digits):
+        test_x, test_y = tiny_digits[2][:30], tiny_digits[3][:30]
+        report = HardwareTestbench(trained, profile=slm_profile(num_levels=256), seed=0).report(test_x, test_y)
+        assert abs(report.accuracy_gap) <= 0.15
+        assert report.pattern_correlation > 0.9
+
+    def test_trained_model_beats_untrained(self, trained, small_config, tiny_digits):
+        test_x, test_y = tiny_digits[2], tiny_digits[3]
+        untrained = DONN(small_config)
+        assert evaluate_classifier(trained, test_x, test_y) > evaluate_classifier(untrained, test_x, test_y)
+
+
+class TestEmulatorConsistency:
+    """The optimised kernels, the LightPipes reference and the deployed hardware
+    must all describe the same optical system."""
+
+    def test_codesign_hard_deployment_equals_reference_emulation(self, tiny_digits):
+        config = DONNConfig(
+            sys_size=32, pixel_size=36e-6, distance=0.05, num_layers=2, det_size=4, seed=1, amplitude_factor=1.0
+        )
+        profile = slm_profile(num_levels=32)
+        model = DONN(config, device_profile=profile)
+        model.eval()
+        image = tiny_digits[0][:1]
+
+        # Reference emulation using the hard (deployed) modulations.
+        emulator = LightPipesEmulator(config.grid, config.wavelength, config.distance)
+        field = model.encode(image).data[0]
+        current = field
+        for layer in model.diffractive_layers:
+            current = emulator.propagate(current) * layer.hard_modulation()
+        reference_intensity = np.abs(emulator.propagate(current)) ** 2
+
+        # The same hard modulations applied through the tensor kernels.
+        with no_grad():
+            tensor_field = model.encode(image)
+            for layer in model.diffractive_layers:
+                tensor_field = layer.propagator(tensor_field) * Tensor(layer.hard_modulation())
+            optimised_intensity = model.final_propagator(tensor_field).abs2().data[0]
+
+        np.testing.assert_allclose(optimised_intensity, reference_intensity, atol=1e-8)
+
+    def test_dsl_built_model_matches_direct_construction(self, tiny_digits):
+        spec = {
+            "sys_size": 32,
+            "pixel_size": 36e-6,
+            "distance": 0.05,
+            "wavelength": 532e-9,
+            "num_layers": 2,
+            "num_classes": 10,
+            "det_size": 4,
+            "seed": 7,
+        }
+        from_dsl = build_donn(spec)
+        direct = DONN(DONNConfig(**spec))
+        np.testing.assert_allclose(
+            from_dsl(tiny_digits[0][:2]).data, direct(tiny_digits[0][:2]).data, rtol=1e-12
+        )
+
+
+class TestCodesignTemperature:
+    def test_config_validates_temperature(self):
+        with pytest.raises(ValueError):
+            DONNConfig(codesign_temperature=0.0)
+
+    def test_temperature_propagates_to_layers(self, small_config):
+        config = small_config.with_updates(codesign_temperature=0.25)
+        model = DONN(config, device_profile=slm_profile(num_levels=16))
+        assert all(layer.temperature == 0.25 for layer in model.diffractive_layers)
+
+    def test_lower_temperature_gives_sharper_soft_hard_agreement(self, small_config, tiny_digits):
+        """Colder Gumbel-Softmax brings the soft (training) modulation closer to
+        the hard (deployed) modulation, shrinking the deployment mismatch."""
+        image = tiny_digits[0][:1]
+        profile = slm_profile(num_levels=16)
+
+        def soft_hard_distance(temperature: float) -> float:
+            config = small_config.with_updates(codesign_temperature=temperature)
+            model = DONN(config, device_profile=profile)
+            model.eval()
+            layer = model.diffractive_layers[0]
+            return float(np.abs(layer.modulation().data - layer.hard_modulation()).mean())
+
+        assert soft_hard_distance(0.2) < soft_hard_distance(2.0)
+
+
+class TestNoiseRobustnessPipeline:
+    def test_more_detector_noise_never_helps_on_average(self, small_config, tiny_digits):
+        from repro.train import evaluate_with_detector_noise
+
+        train_x, train_y, test_x, test_y = tiny_digits
+        model = build_regularized_donn(small_config, train_x[:8])
+        Trainer(model, num_classes=10, learning_rate=0.5, batch_size=25, seed=0).fit(train_x, train_y, epochs=3)
+        accuracies = [
+            evaluate_with_detector_noise(model, test_x, test_y, noise_level=level, seed=1)["accuracy"]
+            for level in (0.0, 0.2, 0.8)
+        ]
+        # Strong noise cannot beat the clean evaluation by more than statistical jitter.
+        assert accuracies[2] <= accuracies[0] + 0.1
+
+    def test_fabrication_variation_degrades_correlation(self, small_config, tiny_digits):
+        from repro.codesign import FabricationVariation
+
+        train_x = tiny_digits[0]
+        model = build_regularized_donn(small_config, train_x[:8])
+        profile = slm_profile(num_levels=256)
+        clean = HardwareTestbench(
+            model, profile=profile, variation=FabricationVariation(0.0, 0.0, seed=0), seed=0
+        ).report(train_x[:20], tiny_digits[1][:20])
+        dirty = HardwareTestbench(
+            model, profile=profile, variation=FabricationVariation(0.2, 0.8, seed=0), seed=0
+        ).report(train_x[:20], tiny_digits[1][:20])
+        assert dirty.pattern_correlation < clean.pattern_correlation

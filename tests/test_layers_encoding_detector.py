@@ -1,0 +1,167 @@
+"""Tests for input encoding and the detector plane."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.layers import Detector, DetectorRegion, binarize_images, data_to_cplex, grid_region_layout, resize_images
+from repro.optics import SpatialGrid
+
+
+class TestResizeAndBinarize:
+    def test_resize_upscales_exact_multiple(self):
+        image = np.ones((1, 4, 4))
+        resized = resize_images(image, 16)
+        assert resized.shape == (1, 16, 16)
+        np.testing.assert_allclose(resized, 1.0)
+
+    def test_resize_centres_with_border(self):
+        image = np.ones((1, 4, 4))
+        resized = resize_images(image, 18)  # upscale x4 -> 16, centred in 18
+        assert resized.shape == (1, 18, 18)
+        assert resized[0, 9, 9] == 1.0
+        assert resized[0, 0, 0] == 0.0
+
+    def test_resize_single_image(self):
+        resized = resize_images(np.ones((4, 4)), 8)
+        assert resized.shape == (8, 8)
+
+    def test_resize_preserves_total_roughly(self, rng):
+        image = rng.uniform(size=(2, 8, 8))
+        resized = resize_images(image, 32)
+        scale = (32 // 8) ** 2
+        np.testing.assert_allclose(resized.sum(axis=(1, 2)), image.sum(axis=(1, 2)) * scale, rtol=1e-9)
+
+    def test_resize_downsamples_when_source_larger(self, rng):
+        image = rng.uniform(size=(1, 50, 50))
+        resized = resize_images(image, 32)
+        assert resized.shape == (1, 32, 32)
+
+    def test_binarize_threshold(self):
+        out = binarize_images(np.array([[0.2, 0.7]]), threshold=0.5)
+        np.testing.assert_allclose(out, [[0.0, 1.0]])
+
+    def test_binarize_accepts_tensor(self):
+        out = binarize_images(Tensor(np.array([[0.9]])))
+        assert out[0, 0] == 1.0
+
+
+class TestDataToCplex:
+    def test_output_is_complex_with_flat_phase(self, rng):
+        images = rng.uniform(0, 1, size=(3, 8, 8))
+        field = data_to_cplex(images)
+        assert field.is_complex
+        np.testing.assert_allclose(field.data.imag, 0.0)
+
+    def test_intensity_matches_image(self, rng):
+        images = rng.uniform(0, 1, size=(2, 8, 8))
+        field = data_to_cplex(images)
+        np.testing.assert_allclose(np.abs(field.data) ** 2, images, atol=1e-12)
+
+    def test_resizes_to_grid(self, rng, small_grid):
+        images = rng.uniform(0, 1, size=(2, 8, 8))
+        field = data_to_cplex(images, grid=small_grid)
+        assert field.shape == (2, 32, 32)
+
+    def test_amplitude_factor_scales_field(self, rng):
+        images = rng.uniform(0.1, 1, size=(1, 4, 4))
+        base = data_to_cplex(images)
+        scaled = data_to_cplex(images, amplitude_factor=2.0)
+        np.testing.assert_allclose(scaled.data, base.data * 2.0)
+
+    def test_initial_phase_setting(self):
+        field = data_to_cplex(np.ones((1, 2, 2)), phase=np.pi)
+        np.testing.assert_allclose(field.data.real, -1.0, atol=1e-12)
+
+    def test_negative_intensities_clipped(self):
+        field = data_to_cplex(np.array([[[-0.5, 1.0]]]))
+        assert np.abs(field.data[0, 0, 0]) == 0.0
+
+
+class TestDetectorRegions:
+    def test_bounds_clipped_to_grid(self):
+        region = DetectorRegion(x=1, y=1, size=6)
+        r0, r1, c0, c1 = region.bounds(16)
+        assert r0 == 0 and c0 == 0
+        assert r1 > r0 and c1 > c0
+
+    def test_region_outside_grid_rejected(self):
+        with pytest.raises(ValueError):
+            DetectorRegion(x=100, y=100, size=4).bounds(16)
+
+    def test_layout_produces_requested_count(self):
+        regions = grid_region_layout(64, 10)
+        assert len(regions) == 10
+
+    def test_layout_regions_within_grid(self):
+        for region in grid_region_layout(64, 10, det_size=6):
+            r0, r1, c0, c1 = region.bounds(64)
+            assert 0 <= r0 < r1 <= 64
+            assert 0 <= c0 < c1 <= 64
+
+    def test_layout_regions_do_not_overlap(self):
+        regions = grid_region_layout(64, 10)
+        masks = np.zeros((64, 64))
+        for region in regions:
+            r0, r1, c0, c1 = region.bounds(64)
+            masks[r0:r1, c0:c1] += 1
+        assert masks.max() == 1.0
+
+    def test_layout_rejects_zero_classes(self):
+        with pytest.raises(ValueError):
+            grid_region_layout(64, 0)
+
+
+class TestDetector:
+    def test_construction_requires_some_layout(self, small_grid):
+        with pytest.raises(ValueError):
+            Detector(small_grid)
+
+    def test_construction_from_xy_locations(self, small_grid):
+        detector = Detector(small_grid, x_loc=[8, 24], y_loc=[8, 24], det_size=4)
+        assert detector.num_classes == 2
+
+    def test_xy_length_mismatch_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            Detector(small_grid, x_loc=[8], y_loc=[8, 24])
+
+    def test_read_integrates_region_intensity(self, small_grid):
+        detector = Detector(small_grid, regions=[DetectorRegion(8, 8, 4), DetectorRegion(24, 24, 4)])
+        intensity = np.zeros(small_grid.shape)
+        intensity[6:10, 6:10] = 1.0  # light only in region 0
+        logits = detector.read(Tensor(intensity[None]))
+        assert logits.data[0, 0] > 0
+        assert logits.data[0, 1] == pytest.approx(0.0)
+
+    def test_forward_from_field(self, small_grid, rng):
+        detector = Detector(small_grid, num_classes=10, det_size=4)
+        field = Tensor(rng.normal(size=(2,) + small_grid.shape) + 1j * rng.normal(size=(2,) + small_grid.shape))
+        logits = detector(field)
+        assert logits.shape == (2, 10)
+        assert np.all(logits.data.real >= 0)
+
+    def test_read_unbatched_field(self, small_grid, rng):
+        detector = Detector(small_grid, num_classes=4, det_size=4)
+        intensity = rng.uniform(size=small_grid.shape)
+        logits = detector.read(Tensor(intensity))
+        assert logits.shape == (4,)
+
+    def test_region_mask_labels(self, small_grid):
+        detector = Detector(small_grid, num_classes=3, det_size=4)
+        label_map = detector.region_mask()
+        assert set(np.unique(label_map)) == {-1, 0, 1, 2}
+
+    def test_intensity_pattern_is_abs2(self, small_grid, rng):
+        detector = Detector(small_grid, num_classes=2, det_size=4)
+        field = Tensor(rng.normal(size=small_grid.shape) + 1j * rng.normal(size=small_grid.shape))
+        np.testing.assert_allclose(detector.intensity_pattern(field).data, np.abs(field.data) ** 2)
+
+    def test_gradients_flow_through_detector(self, small_grid, rng):
+        from repro.autograd import check_gradients
+
+        detector = Detector(small_grid, num_classes=4, det_size=4)
+        field = Tensor(
+            rng.normal(size=small_grid.shape) + 1j * rng.normal(size=small_grid.shape), requires_grad=True
+        )
+        weights = rng.normal(size=4)
+        assert check_gradients(lambda f: (detector(f) * weights).sum(), [field], atol=1e-6)

@@ -1,0 +1,84 @@
+"""Tests for the optical nonlinearity extension layers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.layers.nonlinearity import KerrPhaseLayer, SaturableAbsorber
+from repro.models import DONN, DONNConfig
+
+
+def _field(rng, shape=(4, 4)):
+    return Tensor(rng.normal(size=shape) + 1j * rng.normal(size=shape))
+
+
+class TestSaturableAbsorber:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SaturableAbsorber(saturation_intensity=0.0)
+        with pytest.raises(ValueError):
+            SaturableAbsorber(linear_transmission=0.0)
+        with pytest.raises(ValueError):
+            SaturableAbsorber(linear_transmission=1.5)
+
+    def test_weak_light_attenuated_more_than_strong(self, rng):
+        absorber = SaturableAbsorber(saturation_intensity=1.0, linear_transmission=0.1)
+        weak = Tensor(np.full((4, 4), 0.01 + 0j))
+        strong = Tensor(np.full((4, 4), 10.0 + 0j))
+        weak_ratio = float((absorber(weak).abs2().sum() / weak.abs2().sum()).data)
+        strong_ratio = float((absorber(strong).abs2().sum() / strong.abs2().sum()).data)
+        assert weak_ratio < strong_ratio
+        assert strong_ratio <= 1.0 + 1e-9
+
+    def test_transmission_bounded(self, rng):
+        absorber = SaturableAbsorber()
+        out = absorber(_field(rng))
+        ratio = out.abs2().data / np.maximum(_field(rng).abs2().data, 1e-12)
+        assert np.all(out.abs2().data <= _field(rng, (4, 4)).abs2().data.max() * 10)
+
+    def test_phase_preserved(self, rng):
+        absorber = SaturableAbsorber()
+        field = _field(rng)
+        out = absorber(field)
+        np.testing.assert_allclose(np.angle(out.data), np.angle(field.data), atol=1e-9)
+
+    def test_gradients_flow_through(self, rng):
+        absorber = SaturableAbsorber()
+        field = Tensor(rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3)), requires_grad=True)
+        assert check_gradients(lambda f: absorber(f).abs2().sum(), [field], atol=1e-5)
+
+    def test_acts_as_activation_in_a_donn_stack(self, rng):
+        """A DONN followed by a saturable absorber still produces valid logits."""
+        config = DONNConfig(sys_size=32, pixel_size=36e-6, distance=0.05, num_layers=2, det_size=4, seed=0)
+        model = DONN(config)
+        absorber = SaturableAbsorber(saturation_intensity=0.5)
+        field = model.encode(rng.uniform(size=(2, 32, 32)))
+        for layer in model.diffractive_layers:
+            field = absorber(layer(field))
+        logits = model.detector(model.final_propagator(field))
+        assert logits.shape == (2, 10)
+        assert np.all(logits.data.real >= 0)
+
+
+class TestKerrPhaseLayer:
+    def test_intensity_preserved(self, rng):
+        layer = KerrPhaseLayer(nonlinear_coefficient=2.0)
+        field = _field(rng)
+        np.testing.assert_allclose(layer(field).abs2().data, field.abs2().data, rtol=1e-10)
+
+    def test_phase_shift_proportional_to_intensity(self):
+        layer = KerrPhaseLayer(nonlinear_coefficient=0.5)
+        field = Tensor(np.array([[2.0 + 0j]]))  # intensity 4 -> phase shift 2 rad
+        out = layer(field)
+        assert np.angle(out.data[0, 0]) == pytest.approx(0.5 * 4.0, abs=1e-9)
+
+    def test_zero_coefficient_is_identity(self, rng):
+        layer = KerrPhaseLayer(nonlinear_coefficient=0.0)
+        field = _field(rng)
+        np.testing.assert_allclose(layer(field).data, field.data)
+
+    def test_gradients_flow_through(self, rng):
+        layer = KerrPhaseLayer(nonlinear_coefficient=0.3)
+        field = Tensor(rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3)), requires_grad=True)
+        target = rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3))
+        assert check_gradients(lambda f: (layer(f) - Tensor(target)).abs2().sum(), [field], atol=1e-5)

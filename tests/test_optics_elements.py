@@ -1,0 +1,82 @@
+"""Tests for passive optical elements: apertures, lenses, splitters, mirrors."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.optics import BeamSplitter, Mirror, SpatialGrid, circular_aperture, rectangular_aperture, thin_lens_phase
+
+
+class TestApertures:
+    def test_circular_aperture_area(self, small_grid):
+        mask = circular_aperture(small_grid, radius_fraction=0.5)
+        measured = mask.sum() * small_grid.pixel_size**2
+        radius = 0.5 * small_grid.extent / 2
+        assert measured == pytest.approx(np.pi * radius**2, rel=0.1)
+
+    def test_circular_aperture_binary(self, small_grid):
+        mask = circular_aperture(small_grid)
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+
+    def test_circular_aperture_invalid_fraction(self, small_grid):
+        with pytest.raises(ValueError):
+            circular_aperture(small_grid, radius_fraction=0.0)
+        with pytest.raises(ValueError):
+            circular_aperture(small_grid, radius_fraction=1.5)
+
+    def test_rectangular_aperture_area(self, small_grid):
+        mask = rectangular_aperture(small_grid, width_fraction=0.5, height_fraction=0.25)
+        expected_fraction = 0.5 * 0.25
+        assert mask.mean() == pytest.approx(expected_fraction, rel=0.15)
+
+    def test_full_rectangular_aperture_is_open(self, small_grid):
+        mask = rectangular_aperture(small_grid, width_fraction=1.0, height_fraction=1.0)
+        assert mask.mean() == pytest.approx(1.0)
+
+
+class TestThinLens:
+    def test_phase_is_zero_on_axis(self, small_grid):
+        phase = thin_lens_phase(small_grid, wavelength=532e-9, focal_length=0.1)
+        centre = small_grid.size // 2
+        on_axis = abs(phase[centre, centre])
+        assert on_axis == pytest.approx(0.0, abs=abs(phase).max() * 1e-2)
+
+    def test_phase_is_radially_symmetric(self, small_grid):
+        phase = thin_lens_phase(small_grid, wavelength=532e-9, focal_length=0.1)
+        np.testing.assert_allclose(phase, phase.T, atol=1e-9)
+
+    def test_negative_focal_length_flips_sign(self, small_grid):
+        converging = thin_lens_phase(small_grid, 532e-9, 0.1)
+        diverging = thin_lens_phase(small_grid, 532e-9, -0.1)
+        np.testing.assert_allclose(converging, -diverging)
+
+    def test_zero_focal_length_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            thin_lens_phase(small_grid, 532e-9, 0.0)
+
+
+class TestBeamSplitterMirror:
+    def test_split_conserves_power(self, rng):
+        field = Tensor(rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8)))
+        a, b = BeamSplitter().split(field)
+        total = float(a.abs2().sum().data + b.abs2().sum().data)
+        assert total == pytest.approx(float(field.abs2().sum().data), rel=1e-10)
+
+    def test_split_halves_power_per_arm(self, rng):
+        field = Tensor(rng.normal(size=(4, 4)).astype(complex))
+        a, b = BeamSplitter().split(field)
+        half = float(field.abs2().sum().data) / 2
+        assert float(a.abs2().sum().data) == pytest.approx(half)
+        assert float(b.abs2().sum().data) == pytest.approx(half)
+
+    def test_combine_conserves_power_for_orthogonal_inputs(self, rng):
+        a = Tensor((rng.normal(size=(4, 4)) + 0j))
+        zero = Tensor(np.zeros((4, 4), dtype=complex))
+        combined = BeamSplitter().combine(a, zero)
+        assert float(combined.abs2().sum().data) == pytest.approx(float(a.abs2().sum().data) / 2)
+
+    def test_mirror_flips_and_preserves_intensity(self, rng):
+        field = Tensor(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))
+        reflected = Mirror()(field)
+        np.testing.assert_allclose(reflected.abs2().data, field.abs2().data[..., ::-1])
+        np.testing.assert_allclose(reflected.data, -field.data[..., ::-1])

@@ -1,0 +1,160 @@
+"""Tests for spatial grids, laser sources and wavefield helpers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.optics import (
+    LaserSource,
+    SpatialGrid,
+    bessel_profile,
+    field_from_intensity,
+    gaussian_profile,
+    intensity,
+    normalize_field,
+    plane_profile,
+    total_power,
+)
+from repro.optics.laser import PROFILES, VISIBLE_GREEN_532NM
+from repro.optics.wave import correlation, phase_of
+
+
+class TestSpatialGrid:
+    def test_extent(self):
+        grid = SpatialGrid(size=100, pixel_size=10e-6)
+        assert grid.extent == pytest.approx(1e-3)
+
+    def test_shape(self, small_grid):
+        assert small_grid.shape == (32, 32)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialGrid(size=0, pixel_size=1e-6)
+        with pytest.raises(ValueError):
+            SpatialGrid(size=10, pixel_size=-1.0)
+
+    def test_coordinates_are_centred(self, small_grid):
+        x, y = small_grid.coordinates
+        assert x.mean() == pytest.approx(0.0, abs=1e-12)
+        assert y.mean() == pytest.approx(0.0, abs=1e-12)
+        assert x.shape == small_grid.shape
+
+    def test_coordinate_spacing_matches_pixel_size(self, small_grid):
+        x, _ = small_grid.coordinates
+        assert x[0, 1] - x[0, 0] == pytest.approx(small_grid.pixel_size)
+
+    def test_frequencies_match_fftfreq(self, small_grid):
+        fx, fy = small_grid.frequencies
+        expected = np.fft.fftfreq(small_grid.size, d=small_grid.pixel_size)
+        np.testing.assert_allclose(fx[0], expected)
+        np.testing.assert_allclose(fy[:, 0], expected)
+
+    def test_padded_and_resize(self, small_grid):
+        assert small_grid.padded(2).size == 64
+        assert small_grid.resize(16).size == 16
+        with pytest.raises(ValueError):
+            small_grid.padded(0)
+
+    def test_grid_is_hashable_and_frozen(self, small_grid):
+        with pytest.raises(Exception):
+            small_grid.size = 5
+        assert hash(small_grid) == hash(SpatialGrid(32, 36e-6))
+
+
+class TestBeamProfiles:
+    def test_plane_profile_uniform(self, small_grid):
+        profile = plane_profile(small_grid)
+        assert np.all(profile == 1.0)
+
+    def test_gaussian_profile_peaks_at_centre(self, small_grid):
+        profile = gaussian_profile(small_grid)
+        centre = small_grid.size // 2
+        assert profile[centre, centre] == profile.max()
+        assert profile[0, 0] < profile[centre, centre]
+
+    def test_bessel_profile_has_rings(self, small_grid):
+        profile = bessel_profile(small_grid)
+        assert profile.max() <= 1.0 + 1e-9
+        assert profile.min() >= 0.0
+
+    def test_profiles_registry(self):
+        assert set(PROFILES) == {"plane", "gaussian", "bessel"}
+
+
+class TestLaserSource:
+    def test_default_wavelength_is_green(self):
+        assert LaserSource().wavelength == pytest.approx(VISIBLE_GREEN_532NM)
+
+    def test_wavenumber(self):
+        laser = LaserSource(wavelength=500e-9)
+        assert laser.wavenumber == pytest.approx(2 * np.pi / 500e-9)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LaserSource(wavelength=-1.0)
+        with pytest.raises(ValueError):
+            LaserSource(power=0.0)
+        with pytest.raises(ValueError):
+            LaserSource(profile="warp-drive")
+
+    def test_profile_amplitude_normalised_to_power(self, small_grid):
+        laser = LaserSource(power=2e-3)
+        amplitude = laser.profile_amplitude(small_grid)
+        assert (amplitude**2).sum() == pytest.approx(2e-3)
+
+    def test_illuminate_without_image_returns_beam(self, small_grid):
+        field = LaserSource().illuminate(small_grid)
+        assert field.is_complex
+        assert field.shape == small_grid.shape
+
+    def test_illuminate_encodes_image_amplitude(self, small_grid, rng):
+        image = rng.uniform(0, 1, size=small_grid.shape)
+        field = LaserSource(profile="plane").illuminate(small_grid, Tensor(image))
+        ratio = np.abs(field.data) ** 2 / np.maximum(image, 1e-12)
+        # Intensity proportional to the encoded image.
+        assert np.nanstd(ratio[image > 0.1]) / np.nanmean(ratio[image > 0.1]) < 1e-6
+
+    def test_callable_profile(self, small_grid):
+        laser = LaserSource(profile=lambda grid: np.ones(grid.shape))
+        field = laser.illuminate(small_grid)
+        assert field.shape == small_grid.shape
+
+
+class TestWaveHelpers:
+    def test_intensity_and_total_power(self, rng):
+        field = rng.normal(size=(8, 8)) + 1j * rng.normal(size=(8, 8))
+        np.testing.assert_allclose(intensity(field).data, np.abs(field) ** 2)
+        assert total_power(field).item() == pytest.approx(np.sum(np.abs(field) ** 2))
+
+    def test_field_from_intensity_flat_phase(self, rng):
+        image = rng.uniform(0, 1, size=(6, 6))
+        field = field_from_intensity(image)
+        np.testing.assert_allclose(field.data.imag, 0.0)
+        np.testing.assert_allclose(np.abs(field.data) ** 2, image, atol=1e-12)
+
+    def test_field_from_intensity_with_phase(self):
+        field = field_from_intensity(np.ones((2, 2)), phase=np.pi / 2)
+        np.testing.assert_allclose(field.data.real, 0.0, atol=1e-12)
+
+    def test_field_from_intensity_clips_negative(self):
+        field = field_from_intensity(np.array([[-1.0, 4.0]]))
+        np.testing.assert_allclose(np.abs(field.data) ** 2, [[0.0, 4.0]])
+
+    def test_normalize_field(self, rng):
+        field = rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))
+        normalised = normalize_field(field, power=3.0)
+        assert total_power(normalised).item() == pytest.approx(3.0)
+
+    def test_normalize_zero_field_is_noop(self):
+        field = np.zeros((3, 3), dtype=complex)
+        assert total_power(normalize_field(field)).item() == pytest.approx(0.0)
+
+    def test_phase_of(self):
+        field = np.array([1j, -1.0])
+        np.testing.assert_allclose(phase_of(field).data, [np.pi / 2, np.pi])
+
+    def test_correlation_bounds_and_identity(self, rng):
+        pattern = rng.random((8, 8))
+        assert correlation(pattern, pattern) == pytest.approx(1.0)
+        assert correlation(pattern, -pattern) == pytest.approx(-1.0)
+        assert correlation(pattern, np.zeros_like(pattern)) == 0.0

@@ -1,0 +1,196 @@
+"""Tests for the scalar-diffraction propagators (the physics IR of the framework)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, check_gradients
+from repro.optics import (
+    DirectIntegrationPropagator,
+    FraunhoferPropagator,
+    FresnelPropagator,
+    RayleighSommerfeldPropagator,
+    SpatialGrid,
+    fresnel_number,
+    make_propagator,
+)
+from repro.optics.elements import circular_aperture
+from repro.optics.propagation import APPROXIMATIONS
+
+
+@pytest.fixture(scope="module")
+def optical_grid():
+    # 64 x 10 um pixels = 0.64 mm aperture, visible light.
+    return SpatialGrid(size=64, pixel_size=10e-6)
+
+
+@pytest.fixture(scope="module")
+def gaussian_field(optical_grid):
+    x, y = optical_grid.coordinates
+    waist = optical_grid.extent / 6
+    field = np.exp(-(x**2 + y**2) / waist**2).astype(complex)
+    return Tensor(field)
+
+
+WAVELENGTH = 532e-9
+
+
+class TestFactory:
+    def test_all_registered_names_construct(self, optical_grid):
+        for name in set(APPROXIMATIONS):
+            propagator = make_propagator(name, optical_grid, WAVELENGTH, 0.01)
+            assert propagator.grid is optical_grid
+
+    def test_unknown_name_rejected(self, optical_grid):
+        with pytest.raises(ValueError):
+            make_propagator("fdtd", optical_grid, WAVELENGTH, 0.01)
+
+    def test_invalid_parameters_rejected(self, optical_grid):
+        with pytest.raises(ValueError):
+            RayleighSommerfeldPropagator(optical_grid, wavelength=-1.0, distance=0.01)
+        with pytest.raises(ValueError):
+            RayleighSommerfeldPropagator(optical_grid, wavelength=WAVELENGTH, distance=0.0)
+        with pytest.raises(ValueError):
+            RayleighSommerfeldPropagator(optical_grid, WAVELENGTH, 0.01, pad_factor=0)
+
+    def test_field_shape_mismatch_rejected(self, optical_grid):
+        propagator = RayleighSommerfeldPropagator(optical_grid, WAVELENGTH, 0.01)
+        with pytest.raises(ValueError):
+            propagator(Tensor(np.zeros((16, 16), dtype=complex)))
+
+    def test_fresnel_number_definition(self):
+        assert fresnel_number(1e-3, 500e-9, 1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            fresnel_number(1e-3, 500e-9, 0.0)
+
+
+class TestRayleighSommerfeld:
+    def test_energy_conserved_for_propagating_field(self, optical_grid, gaussian_field):
+        """The angular-spectrum transfer function is unitary for propagating waves."""
+        propagator = RayleighSommerfeldPropagator(optical_grid, WAVELENGTH, 0.005)
+        output = propagator(gaussian_field)
+        energy_in = float(gaussian_field.abs2().sum().data)
+        energy_out = float(output.abs2().sum().data)
+        assert energy_out == pytest.approx(energy_in, rel=1e-6)
+
+    def test_zero_distance_limit_is_identity_like(self, optical_grid, gaussian_field):
+        propagator = RayleighSommerfeldPropagator(optical_grid, WAVELENGTH, 1e-9)
+        output = propagator(gaussian_field)
+        np.testing.assert_allclose(np.abs(output.data), np.abs(gaussian_field.data), atol=1e-6)
+
+    def test_beam_spreads_with_distance(self, optical_grid, gaussian_field):
+        """Diffraction must widen a finite beam as it propagates."""
+
+        def beam_width(field):
+            intensity = np.abs(field) ** 2
+            x, _ = optical_grid.coordinates
+            return np.sqrt((intensity * x**2).sum() / intensity.sum())
+
+        near = RayleighSommerfeldPropagator(optical_grid, WAVELENGTH, 0.002)(gaussian_field)
+        far = RayleighSommerfeldPropagator(optical_grid, WAVELENGTH, 0.02)(gaussian_field)
+        assert beam_width(far.data) > beam_width(near.data) > beam_width(gaussian_field.data) * 0.99
+
+    def test_batched_propagation_matches_single(self, optical_grid, gaussian_field, rng):
+        other = Tensor(rng.normal(size=optical_grid.shape) + 1j * rng.normal(size=optical_grid.shape))
+        propagator = RayleighSommerfeldPropagator(optical_grid, WAVELENGTH, 0.01)
+        import repro.autograd.ops as ops
+
+        batch = ops.stack([gaussian_field, other])
+        batched = propagator(batch)
+        np.testing.assert_allclose(batched.data[0], propagator(gaussian_field).data, atol=1e-10)
+        np.testing.assert_allclose(batched.data[1], propagator(other).data, atol=1e-10)
+
+    def test_linearity(self, optical_grid, gaussian_field, rng):
+        other = Tensor(rng.normal(size=optical_grid.shape) + 1j * rng.normal(size=optical_grid.shape))
+        propagator = RayleighSommerfeldPropagator(optical_grid, WAVELENGTH, 0.01)
+        combined = propagator(gaussian_field * 2.0 + other)
+        separate = propagator(gaussian_field) * 2.0 + propagator(other)
+        np.testing.assert_allclose(combined.data, separate.data, atol=1e-10)
+
+    def test_padding_reduces_wraparound(self, optical_grid):
+        """With a field that hits the window edge, padding changes (improves) the result."""
+        x, y = optical_grid.coordinates
+        field = Tensor((np.abs(x) < optical_grid.extent / 2.2).astype(complex))
+        unpadded = RayleighSommerfeldPropagator(optical_grid, WAVELENGTH, 0.02, pad_factor=1)(field)
+        padded = RayleighSommerfeldPropagator(optical_grid, WAVELENGTH, 0.02, pad_factor=2)(field)
+        assert padded.shape == unpadded.shape
+        difference = np.abs(padded.data - unpadded.data).max()
+        assert difference > 1e-6  # wrap-around is present and padding suppressed it
+
+    def test_gradcheck_through_propagator(self):
+        grid = SpatialGrid(size=6, pixel_size=10e-6)
+        propagator = RayleighSommerfeldPropagator(grid, WAVELENGTH, 0.001)
+        field = Tensor(np.random.default_rng(0).normal(size=(6, 6)).astype(complex), requires_grad=True)
+        weights = np.random.default_rng(1).normal(size=(6, 6))
+        assert check_gradients(lambda f: (propagator(f).abs2() * weights).sum(), [field], atol=1e-6)
+
+
+class TestFresnelAgainstRayleighSommerfeld:
+    def test_paraxial_agreement(self, optical_grid, gaussian_field):
+        """In the paraxial regime Fresnel and RS must produce nearly identical patterns."""
+        distance = 0.05  # far enough that angles are tiny for a 0.64 mm aperture
+        rs = RayleighSommerfeldPropagator(optical_grid, WAVELENGTH, distance)(gaussian_field)
+        fresnel = FresnelPropagator(optical_grid, WAVELENGTH, distance)(gaussian_field)
+        intensity_rs = rs.abs2().data
+        intensity_fr = fresnel.abs2().data
+        correlation = np.corrcoef(intensity_rs.ravel(), intensity_fr.ravel())[0, 1]
+        assert correlation > 0.999
+
+    def test_fresnel_energy_conserved(self, optical_grid, gaussian_field):
+        fresnel = FresnelPropagator(optical_grid, WAVELENGTH, 0.05)(gaussian_field)
+        assert float(fresnel.abs2().sum().data) == pytest.approx(float(gaussian_field.abs2().sum().data), rel=1e-6)
+
+    def test_validity_condition_improves_with_distance(self, optical_grid):
+        near = FresnelPropagator(optical_grid, WAVELENGTH, 1e-6)
+        far = FresnelPropagator(optical_grid, WAVELENGTH, 0.5)
+        assert far.validity_condition()
+        assert not near.validity_condition()
+
+
+class TestDirectIntegrationCrossCheck:
+    def test_direct_matches_angular_spectrum(self, optical_grid, gaussian_field):
+        """Eq. 1 evaluated by convolution must agree with the transfer-function kernel.
+
+        This is the numerical-fidelity cross-check: two independent
+        evaluations of the same physics.
+        """
+        distance = 0.01
+        spectral = RayleighSommerfeldPropagator(optical_grid, WAVELENGTH, distance, pad_factor=2)(gaussian_field)
+        direct = DirectIntegrationPropagator(optical_grid, WAVELENGTH, distance, pad_factor=2)(gaussian_field)
+        intensity_a = spectral.abs2().data
+        intensity_b = direct.abs2().data
+        correlation = np.corrcoef(intensity_a.ravel(), intensity_b.ravel())[0, 1]
+        assert correlation > 0.99
+        # Total power should agree to within a few percent as well.
+        assert intensity_b.sum() == pytest.approx(intensity_a.sum(), rel=0.05)
+
+
+class TestFraunhofer:
+    def test_far_field_of_gaussian_is_gaussian(self, optical_grid, gaussian_field):
+        propagator = FraunhoferPropagator(optical_grid, WAVELENGTH, 10.0)
+        output = propagator(gaussian_field).abs2().data
+        centre = optical_grid.size // 2
+        assert output[centre, centre] == pytest.approx(output.max())
+
+    def test_output_pixel_size(self, optical_grid):
+        propagator = FraunhoferPropagator(optical_grid, WAVELENGTH, 1.0)
+        expected = WAVELENGTH * 1.0 / optical_grid.extent
+        assert propagator.output_pixel_size == pytest.approx(expected)
+
+    def test_far_field_of_aperture_has_airy_like_rings(self, optical_grid):
+        aperture = Tensor(circular_aperture(optical_grid, radius_fraction=0.3).astype(complex))
+        output = FraunhoferPropagator(optical_grid, WAVELENGTH, 10.0)(aperture).abs2().data
+        centre = optical_grid.size // 2
+        profile = output[centre, centre:]
+        # Intensity must fall from the central lobe and then rise again (first ring).
+        first_minimum = np.argmin(profile[: optical_grid.size // 4])
+        assert first_minimum > 0
+        assert profile[first_minimum:].max() > profile[first_minimum] * 2
+
+    def test_validity_condition_far_field_only(self, optical_grid):
+        assert not FraunhoferPropagator(optical_grid, WAVELENGTH, 0.01).validity_condition()
+        assert FraunhoferPropagator(optical_grid, WAVELENGTH, 1e4).validity_condition()
+
+    def test_shape_mismatch_rejected(self, optical_grid):
+        propagator = FraunhoferPropagator(optical_grid, WAVELENGTH, 1.0)
+        with pytest.raises(ValueError):
+            propagator(Tensor(np.zeros((8, 8), dtype=complex)))
