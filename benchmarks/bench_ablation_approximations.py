@@ -15,7 +15,6 @@ import time
 import numpy as np
 
 from _bench_helpers import report, save_results, train_donn
-from repro import DONNConfig, load_digits
 from repro.autograd import Tensor
 from repro.optics import SpatialGrid, make_propagator
 

@@ -11,7 +11,6 @@ Two claims are reproduced:
 
 from __future__ import annotations
 
-import numpy as np
 
 from _bench_helpers import report, save_results, train_donn
 from repro.train import evaluate_with_detector_noise

@@ -17,7 +17,6 @@ from _bench_helpers import report, save_results
 from repro.autograd import Tensor, no_grad
 from repro.baselines import LightPipesEmulator
 from repro.optics import RayleighSommerfeldPropagator, SpatialGrid
-from repro.optics import make_propagator
 
 SIZES = (48, 96, 160)
 DEPTHS = (1, 5)

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from _bench_helpers import report, save_results
 from repro import DONN, DONNConfig, Trainer, load_digits

@@ -9,7 +9,6 @@ the arithmetic exactly and the accuracy at a scaled-down resolution.
 
 from __future__ import annotations
 
-import numpy as np
 
 from _bench_helpers import report, save_results
 from repro import DONNConfig, Trainer, load_digits

@@ -8,7 +8,6 @@ should produce better masks (higher IoU), especially for fine structure.
 
 from __future__ import annotations
 
-import numpy as np
 
 from _bench_helpers import report, save_results
 from repro import DONNConfig, SegmentationDONN, SegmentationTrainer, load_segmentation_scenes

@@ -12,7 +12,7 @@ import numpy as np
 from _bench_helpers import report, save_results
 from repro.dse import sensitivity_analysis
 from repro.dse.sensitivity import most_sensitive_parameter
-from repro.dse.space import diffraction_spread_units, physics_prior_accuracy
+from repro.dse.space import diffraction_spread_units
 
 WAVELENGTH = 532e-9
 UNIT_SIZE = 36e-6

@@ -18,7 +18,7 @@ import numpy as np
 from _bench_helpers import report, save_results
 from repro import Trainer, load_digits, load_fashion
 from repro.baselines import CNNBaseline, MLPBaseline
-from repro.hardware import DONNPowerModel, energy_efficiency_table
+from repro.hardware import energy_efficiency_table
 
 
 def _train_digital(model, dataset, epochs, lr):

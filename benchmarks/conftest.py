@@ -12,10 +12,20 @@ relative comparisons are preserved.
 
 from __future__ import annotations
 
+import os
+import random
+
+import numpy as np
 import pytest
 
 from _bench_helpers import train_donn
 from repro import DONNConfig, load_digits, load_fashion
+
+# Same convention as tests/conftest.py: CI pins the global RNGs so the
+# benchmark smoke job is reproducible run to run.
+if os.environ.get("DERANDOMIZE_CI"):
+    np.random.seed(20230423)
+    random.seed(20230423)
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import DONNConfig, SegmentationDONN, SegmentationTrainer, load_segmentation_scenes
 from repro.train import intersection_over_union

@@ -16,9 +16,9 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import DONNConfig, Trainer, load_digits
+from repro import Trainer, load_digits
 from repro.baselines.regularization import build_regularized_donn
-from repro.codesign import thz_mask_profile, ideal_profile
+from repro.codesign import ideal_profile
 from repro.hardware import design_onchip_system, dump_slm_configuration, to_system, OnChipIntegrationSpec
 from repro.utils import format_table
 

@@ -12,7 +12,6 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import DONNConfig, Trainer, load_digits
 from repro.baselines.regularization import build_regularized_donn

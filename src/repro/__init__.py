@@ -26,6 +26,7 @@ from repro.optics import SpatialGrid, LaserSource, make_propagator
 from repro.codesign import DeviceProfile, slm_profile, ideal_profile, thz_mask_profile
 from repro.train import Trainer, SegmentationTrainer, evaluate_classifier
 from repro.data import load_digits, load_fashion, load_scenes, load_segmentation_scenes
+from repro.engine import InferenceSession, compile_model
 from repro.dse import AnalyticalDSEModel, DesignSpace, run_analytical_dse
 from repro.dsl import build_donn, DesignFlow
 from repro.hardware import HardwareTestbench, to_system, energy_efficiency_table
@@ -54,6 +55,8 @@ __all__ = [
     "slm_profile",
     "ideal_profile",
     "thz_mask_profile",
+    "InferenceSession",
+    "compile_model",
     "Trainer",
     "SegmentationTrainer",
     "evaluate_classifier",

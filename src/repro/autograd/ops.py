@@ -8,7 +8,7 @@ matrix multiplication.  The FFTs live here; multiplication is on
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -7,7 +7,7 @@ paths keep complex state, so both optimizers accept either dtype.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 import numpy as np
 

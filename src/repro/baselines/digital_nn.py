@@ -10,7 +10,7 @@ exact same architectures.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -20,7 +20,6 @@ in Figure 7 and Table 5) is simply ``gamma = 1``.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

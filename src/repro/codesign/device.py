@@ -9,7 +9,7 @@ profile is the boundary object between the emulation and the hardware.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

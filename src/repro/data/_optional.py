@@ -1,0 +1,25 @@
+"""Shared optional-scipy guard for the synthetic dataset generators.
+
+The core package (models, optics, autograd, inference engine) runs on
+numpy alone; only the dataset synthesis below ``repro.data`` leans on
+``scipy.ndimage`` for blurs, shifts and affine warps.  Importing those
+modules therefore must not require scipy -- the requirement surfaces,
+with an actionable message, only when a generator is actually called.
+"""
+
+from __future__ import annotations
+
+try:
+    from scipy import ndimage as _ndimage
+except ImportError:  # pragma: no cover - exercised in scipy-free installs
+    _ndimage = None
+
+
+def require_ndimage():
+    """Return ``scipy.ndimage`` or raise a clear install hint."""
+    if _ndimage is None:
+        raise ImportError(
+            "scipy is required to generate this synthetic dataset "
+            "(install with `pip install scipy` or the `fast` extra)"
+        )
+    return _ndimage

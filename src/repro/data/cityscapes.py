@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Tuple
 
 import numpy as np
-from scipy import ndimage
+from repro.data._optional import require_ndimage
 
 
 def render_street_scene(size: int = 64, rng: np.random.Generator | None = None) -> Tuple[np.ndarray, np.ndarray]:
@@ -45,7 +45,7 @@ def render_street_scene(size: int = 64, rng: np.random.Generator | None = None) 
         cursor = right
         num_buildings -= 1
 
-    image = ndimage.gaussian_filter(image, sigma=0.6)
+    image = require_ndimage().gaussian_filter(image, sigma=0.6)
     image = image + rng.normal(scale=0.02, size=image.shape)
     return np.clip(image, 0.0, 1.0), mask
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 import numpy as np
-from scipy import ndimage
+from repro.data._optional import require_ndimage
 
 # Seven-segment layout:   _       Segments: 0 top, 1 top-left, 2 top-right,
 #                        |_|                 3 middle, 4 bottom-left,
@@ -41,8 +41,12 @@ def _segment_coordinates(canvas: int) -> Dict[int, Tuple[slice, slice]]:
     bottom = canvas - margin
     middle = canvas // 2
     thickness = max(2, canvas // 12)
-    horizontal = lambda row: (slice(row, row + thickness), slice(left, right))
-    vertical = lambda col, row0, row1: (slice(row0, row1), slice(col, col + thickness))
+    def horizontal(row):
+        return (slice(row, row + thickness), slice(left, right))
+
+    def vertical(col, row0, row1):
+        return (slice(row0, row1), slice(col, col + thickness))
+
     return {
         0: horizontal(top),
         1: vertical(left, top, middle),
@@ -66,13 +70,13 @@ def render_digit(digit: int, size: int = 28, rng: np.random.Generator | None = N
         return canvas
     # Per-sample perturbations: blur (stroke thickness), shift, shear, noise.
     sigma = rng.uniform(0.4, 1.1)
-    canvas = ndimage.gaussian_filter(canvas, sigma=sigma)
+    canvas = require_ndimage().gaussian_filter(canvas, sigma=sigma)
     shift = rng.uniform(-2.0, 2.0, size=2)
-    canvas = ndimage.shift(canvas, shift, order=1, mode="constant")
+    canvas = require_ndimage().shift(canvas, shift, order=1, mode="constant")
     shear = rng.uniform(-0.15, 0.15)
     matrix = np.array([[1.0, shear], [0.0, 1.0]])
     offset = np.array([-shear * size / 2.0, 0.0])
-    canvas = ndimage.affine_transform(canvas, matrix, offset=offset, order=1, mode="constant")
+    canvas = require_ndimage().affine_transform(canvas, matrix, offset=offset, order=1, mode="constant")
     canvas = canvas + rng.normal(scale=0.03, size=canvas.shape)
     maximum = canvas.max()
     if maximum > 0:

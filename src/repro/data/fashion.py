@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Tuple
 
 import numpy as np
-from scipy import ndimage
+from repro.data._optional import require_ndimage
 
 GARMENT_CLASSES = (
     "t-shirt",
@@ -147,8 +147,8 @@ def render_garment(class_index: int, size: int = 28, rng: np.random.Generator | 
     canvas = _RENDERERS[class_index](size)
     if rng is None:
         return canvas
-    canvas = ndimage.gaussian_filter(canvas, sigma=rng.uniform(0.3, 0.9))
-    canvas = ndimage.shift(canvas, rng.uniform(-1.5, 1.5, size=2), order=1, mode="constant")
+    canvas = require_ndimage().gaussian_filter(canvas, sigma=rng.uniform(0.3, 0.9))
+    canvas = require_ndimage().shift(canvas, rng.uniform(-1.5, 1.5, size=2), order=1, mode="constant")
     texture = rng.normal(scale=0.08, size=canvas.shape)
     canvas = canvas * (1.0 + texture) + rng.normal(scale=0.04, size=canvas.shape)
     maximum = canvas.max()

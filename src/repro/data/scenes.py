@@ -9,10 +9,10 @@ the property the multi-channel RGB DONN exploits.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 import numpy as np
-from scipy import ndimage
+from repro.data._optional import require_ndimage
 
 SCENE_CLASSES = (
     "forest",
@@ -89,7 +89,7 @@ def render_scene(class_index: int, size: int = 64, rng: np.random.Generator | No
 
     image = np.stack([red, green, blue])
     jitter = rng.normal(scale=0.03, size=image.shape)
-    image = ndimage.gaussian_filter(image, sigma=(0, 0.5, 0.5)) + jitter
+    image = require_ndimage().gaussian_filter(image, sigma=(0, 0.5, 0.5)) + jitter
     return np.clip(image, 0.0, 1.0)
 
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
-import numpy as np
 
 from repro.dse.space import physics_prior_accuracy
 

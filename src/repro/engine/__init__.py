@@ -1,0 +1,28 @@
+"""Inference engine: autograd-free batched serving of trained DONNs.
+
+Public surface:
+
+* :class:`InferenceSession` / :func:`compile_model` -- compile a trained
+  ``DONN`` / ``MultiChannelDONN`` / ``SegmentationDONN`` into a cached,
+  streaming, autograd-free execution plan.
+* :func:`get_fft_backend` / :func:`available_backends` -- the FFT
+  dispatch layer (scipy with thread workers when installed, numpy
+  fallback otherwise).
+"""
+
+from repro.engine.backends import (
+    NumpyFFTBackend,
+    ScipyFFTBackend,
+    available_backends,
+    get_fft_backend,
+)
+from repro.engine.session import InferenceSession, compile_model
+
+__all__ = [
+    "InferenceSession",
+    "compile_model",
+    "available_backends",
+    "get_fft_backend",
+    "NumpyFFTBackend",
+    "ScipyFFTBackend",
+]

@@ -1,0 +1,338 @@
+"""Autograd-free batched inference for trained DONN systems.
+
+Training needs the tape-based :class:`~repro.autograd.tensor.Tensor`
+machinery; serving does not.  :class:`InferenceSession` compiles a trained
+model once into a flat numerical program:
+
+* every propagator's diffraction transfer function (and the Fraunhofer
+  prefactor) is captured as a plain complex ndarray;
+* every layer's phase modulation is snapshotted in eval mode (continuous
+  phases for ``DiffractiveLayer``, the deterministic softmax expectation
+  over device levels for ``CodesignDiffractiveLayer``);
+* the detector's region masks are flattened into one read-out matrix.
+
+The forward pass is then raw batched FFTs and in-place elementwise
+products -- no ``Tensor`` wrapping, no graph bookkeeping -- streamed over
+arbitrarily large inputs in configurable batch chunks.  Outputs match the
+autograd eval path to ``atol=1e-10`` (see ``tests/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.engine.backends import get_fft_backend
+from repro.layers.encoding import data_to_cplex
+from repro.models.donn import DONN
+from repro.models.multichannel import MultiChannelDONN
+from repro.models.segmentation import SegmentationDONN
+from repro.optics.propagation import FraunhoferPropagator, Propagator
+
+PropagatorFn = Callable[[np.ndarray], np.ndarray]
+
+
+def _compile_propagator(propagator: Propagator, fft) -> PropagatorFn:
+    """Bake one propagator into a closure over cached kernel arrays."""
+    if isinstance(propagator, FraunhoferPropagator):
+        prefactor = np.ascontiguousarray(propagator._prefactor_tensor().data)
+
+        def apply_fraunhofer(field: np.ndarray) -> np.ndarray:
+            shifted = np.fft.ifftshift(field, axes=(-2, -1))
+            spectrum = np.fft.fftshift(fft.fft2(shifted), axes=(-2, -1))
+            spectrum *= prefactor
+            return spectrum
+
+        return apply_fraunhofer
+
+    transfer = np.ascontiguousarray(propagator.transfer_function)
+    pad = (propagator._work_grid.size - propagator.grid.size) // 2
+
+    def apply(field: np.ndarray) -> np.ndarray:
+        if pad:
+            widths = [(0, 0)] * (field.ndim - 2) + [(pad, pad), (pad, pad)]
+            field = np.pad(field, widths, mode="constant")
+        spectrum = fft.fft2(field)
+        spectrum *= transfer
+        out = fft.ifft2(spectrum)
+        if pad:
+            out = out[..., pad:-pad, pad:-pad]
+        return out
+
+    return apply
+
+
+def _snapshot_modulation(layer) -> np.ndarray:
+    """Eval-mode complex modulation of a diffractive layer as an ndarray."""
+    with no_grad():
+        return np.ascontiguousarray(layer.modulation().data)
+
+
+def _compile_stack(layers, fft) -> List[Tuple[PropagatorFn, np.ndarray]]:
+    return [(_compile_propagator(layer.propagator, fft), _snapshot_modulation(layer)) for layer in layers]
+
+
+def _apply_stack(field: np.ndarray, steps: Sequence[Tuple[PropagatorFn, np.ndarray]]) -> np.ndarray:
+    for propagate, modulation in steps:
+        field = propagate(field)
+        field *= modulation
+    return field
+
+
+def _intensity(field: np.ndarray) -> np.ndarray:
+    return (field * np.conj(field)).real
+
+
+def _read_intensity(intensity: np.ndarray, read_matrix: np.ndarray) -> np.ndarray:
+    """Flattened intensity -> per-class logits via the detector read matrix."""
+    pixels = intensity.shape[-2] * intensity.shape[-1]
+    flat = intensity.reshape(intensity.shape[:-2] + (pixels,))
+    return flat @ read_matrix
+
+
+class _DONNProgram:
+    """Compiled single-stack classifier (mirrors :class:`DONN.forward`)."""
+
+    kind = "classifier"
+
+    def __init__(self, model: DONN, fft):
+        config = model.config
+        self.grid = config.grid
+        self.amplitude_factor = config.amplitude_factor
+        self.steps = _compile_stack(model.diffractive_layers, fft)
+        self.final = _compile_propagator(model.final_propagator, fft)
+        self.num_outputs = model.detector.num_classes
+        # (N*N, C): logits = intensity_flat @ read_matrix.
+        self.read_matrix = np.ascontiguousarray(model.detector.read_matrix())
+
+    def encode(self, images: np.ndarray) -> np.ndarray:
+        return np.asarray(
+            data_to_cplex(images, grid=self.grid, amplitude_factor=self.amplitude_factor).data
+        )
+
+    def detector_field(self, images: np.ndarray) -> np.ndarray:
+        field = _apply_stack(self.encode(images), self.steps)
+        return self.final(field)
+
+    def intensity(self, images: np.ndarray) -> np.ndarray:
+        return _intensity(self.detector_field(images))
+
+    def read(self, intensity: np.ndarray) -> np.ndarray:
+        return _read_intensity(intensity, self.read_matrix)
+
+    def run(self, images: np.ndarray) -> np.ndarray:
+        return self.read(self.intensity(images))
+
+
+class _MultiChannelProgram:
+    """Compiled multi-channel classifier (incoherent detector sum)."""
+
+    kind = "classifier"
+
+    def __init__(self, model: MultiChannelDONN, fft):
+        config = model.config
+        self.grid = config.grid
+        self.amplitude_factor = config.amplitude_factor
+        self.num_channels = model.num_channels
+        self.channel_scale = model._channel_scale
+        self.channels = [_compile_stack(channel, fft) for channel in model.channels]
+        self.final = _compile_propagator(model.final_propagator, fft)
+        self.num_outputs = model.detector.num_classes
+        self.read_matrix = np.ascontiguousarray(model.detector.read_matrix())
+
+    def intensity(self, rgb: np.ndarray) -> np.ndarray:
+        if rgb.shape[-3] != self.num_channels:
+            raise ValueError(f"expected {self.num_channels} channels, got {rgb.shape[-3]}")
+        total: Optional[np.ndarray] = None
+        for index, steps in enumerate(self.channels):
+            field = np.asarray(
+                data_to_cplex(
+                    rgb[..., index, :, :], grid=self.grid, amplitude_factor=self.amplitude_factor
+                ).data
+            )
+            field *= self.channel_scale
+            field = self.final(_apply_stack(field, steps))
+            channel_intensity = _intensity(field)
+            total = channel_intensity if total is None else total + channel_intensity
+        return total
+
+    def read(self, intensity: np.ndarray) -> np.ndarray:
+        return _read_intensity(intensity, self.read_matrix)
+
+    def run(self, rgb: np.ndarray) -> np.ndarray:
+        return self.read(self.intensity(rgb))
+
+
+class _SegmentationProgram:
+    """Compiled image-to-image DONN (eval mode: raw output intensity)."""
+
+    kind = "segmentation"
+
+    def __init__(self, model: SegmentationDONN, fft):
+        config = model.config
+        self.grid = config.grid
+        self.amplitude_factor = config.amplitude_factor
+        self.entry = _compile_stack([model.entry_layer], fft)
+        inner_layers = model.inner.body if model.use_skip else model.inner
+        self.inner = _compile_stack(inner_layers, fft)
+        self.exit = _compile_stack([model.exit_layer], fft)
+        self.final = _compile_propagator(model.final_propagator, fft)
+        self.use_skip = model.use_skip
+        if model.use_skip:
+            skip_weight = model.inner.skip_weight
+            self.through_amplitude = float(np.sqrt(1.0 - skip_weight))
+            self.bypass_amplitude = float(np.sqrt(skip_weight))
+
+    def intensity(self, images: np.ndarray) -> np.ndarray:
+        field = np.asarray(
+            data_to_cplex(images, grid=self.grid, amplitude_factor=self.amplitude_factor).data
+        )
+        field = _apply_stack(field, self.entry)
+        if self.use_skip:
+            processed = _apply_stack(field * self.through_amplitude, self.inner)
+            field = processed + field * self.bypass_amplitude
+        else:
+            field = _apply_stack(field, self.inner)
+        field = _apply_stack(field, self.exit)
+        return _intensity(self.final(field))
+
+    def run(self, images: np.ndarray) -> np.ndarray:
+        return self.intensity(images)
+
+
+def _compile(model, fft):
+    if isinstance(model, SegmentationDONN):
+        return _SegmentationProgram(model, fft)
+    if isinstance(model, MultiChannelDONN):
+        return _MultiChannelProgram(model, fft)
+    if isinstance(model, DONN):
+        return _DONNProgram(model, fft)
+    raise TypeError(
+        f"cannot compile {type(model).__name__}; expected DONN, MultiChannelDONN or SegmentationDONN"
+    )
+
+
+class InferenceSession:
+    """A trained DONN compiled for batched, autograd-free serving.
+
+    Parameters
+    ----------
+    model:
+        A (trained) :class:`DONN`, :class:`MultiChannelDONN` or
+        :class:`SegmentationDONN`.  The model is snapshotted in eval mode
+        at construction; its train/eval mode is restored afterwards and
+        later parameter updates do **not** propagate into the session
+        (rebuild or call :meth:`refresh` to pick them up).
+    batch_size:
+        Default chunk size used by :meth:`run`/:meth:`predict` when
+        streaming large inputs.
+    backend:
+        FFT backend: ``"auto"`` (scipy when installed, numpy otherwise),
+        ``"scipy"`` or ``"numpy"``.
+    workers:
+        Thread count for the scipy backend's batched FFTs.
+    """
+
+    def __init__(self, model, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = int(batch_size)
+        self.fft = get_fft_backend(backend, workers=workers)
+        self._model = model
+        self._program = self._snapshot(model)
+
+    def _snapshot(self, model):
+        was_training = model.training
+        model.eval()
+        try:
+            with no_grad():
+                return _compile(model, self.fft)
+        finally:
+            model.train(was_training)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def kind(self) -> str:
+        """``"classifier"`` or ``"segmentation"``."""
+        return self._program.kind
+
+    @property
+    def backend_name(self) -> str:
+        return self.fft.name
+
+    def refresh(self) -> "InferenceSession":
+        """Re-snapshot the model's current parameters into the session."""
+        self._program = self._snapshot(self._model)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InferenceSession(kind={self.kind!r}, backend={self.backend_name!r}, "
+            f"batch_size={self.batch_size})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batched execution
+    # ------------------------------------------------------------------ #
+    def _batched(self, images, compute: Callable[[np.ndarray], np.ndarray], batch_size: Optional[int]):
+        array = np.asarray(images, dtype=float)
+        # Single-sample semantics mirror the models': MultiChannelDONN
+        # promotes (C, H, W) to a batch of one, DONN/SegmentationDONN run
+        # an (H, W) sample unbatched.
+        if isinstance(self._program, _MultiChannelProgram):
+            if array.ndim == 3:
+                array = array[None]
+        elif array.ndim == 2:
+            return compute(array)
+        size = int(batch_size or self.batch_size)
+        if len(array) == 0:
+            # An empty query batch is legal for a serving engine: the whole
+            # pipeline is shape-polymorphic, so one pass yields (0, ...).
+            return compute(array)
+        chunks = [compute(array[start : start + size]) for start in range(0, len(array), size)]
+        if len(chunks) == 1:
+            return chunks[0]
+        return np.concatenate(chunks, axis=0)
+
+    def run(self, images, batch_size: Optional[int] = None) -> np.ndarray:
+        """Forward a dataset in chunks.
+
+        Returns per-class collected intensities ``(B, C)`` for classifiers
+        or output intensity maps ``(B, N, N)`` for segmentation models.
+        """
+        return self._batched(images, self._program.run, batch_size)
+
+    def predict(self, images, batch_size: Optional[int] = None) -> np.ndarray:
+        """Arg-max class predictions (classifier sessions only)."""
+        if self.kind != "classifier":
+            raise RuntimeError("predict() requires a classifier session; use predict_mask()")
+        return self.run(images, batch_size=batch_size).argmax(axis=-1)
+
+    def predict_mask(self, images, threshold: Optional[float] = None, batch_size: Optional[int] = None) -> np.ndarray:
+        """Binary masks via per-image median threshold (segmentation only)."""
+        if self.kind != "segmentation":
+            raise RuntimeError("predict_mask() requires a segmentation session; use predict()")
+        pattern = self.run(images, batch_size=batch_size)
+        if threshold is not None:
+            return (pattern >= threshold).astype(float)
+        medians = np.median(pattern, axis=(-2, -1), keepdims=True)
+        return (pattern >= medians).astype(float)
+
+    def intensity_patterns(self, images, batch_size: Optional[int] = None) -> np.ndarray:
+        """Detector-plane intensity images (what the CMOS camera records)."""
+        return self._batched(images, self._program.intensity, batch_size)
+
+    def read_detector(self, intensity: np.ndarray) -> np.ndarray:
+        """Integrate intensity patterns over the per-class detector regions."""
+        if self.kind != "classifier":
+            raise RuntimeError("read_detector() requires a classifier session")
+        return self._program.read(np.asarray(intensity, dtype=float))
+
+
+def compile_model(model, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None) -> InferenceSession:
+    """Functional alias for :class:`InferenceSession` construction."""
+    return InferenceSession(model, batch_size=batch_size, backend=backend, workers=workers)

@@ -23,7 +23,7 @@ from repro.codesign.device import DeviceProfile
 from repro.codesign.noise import FabricationVariation
 from repro.hardware.camera import CMOSCamera
 from repro.hardware.slm import SLM, SLMConfiguration
-from repro.layers.diffractive import CodesignDiffractiveLayer, DiffractiveLayer
+from repro.layers.diffractive import CodesignDiffractiveLayer
 from repro.models.donn import DONN
 from repro.optics.wave import correlation
 from repro.train.metrics import accuracy, prediction_confidence

@@ -115,6 +115,15 @@ class Detector(Module):
             masks[index, r0:r1, c0:c1] = 1.0
         return masks
 
+    def read_matrix(self) -> np.ndarray:
+        """Dense ``(N*N, num_classes)`` read-out matrix.
+
+        Flattened intensity patterns right-multiplied by this matrix give
+        the per-class collected intensities; the inference engine caches it
+        so both execution paths share one definition of the read-out.
+        """
+        return self._masks.reshape(self.num_classes, -1).T.copy()
+
     def region_mask(self) -> np.ndarray:
         """A single 2-D map labelling each pixel with its class index (or -1)."""
         label_map = -np.ones((self.grid.size, self.grid.size), dtype=int)

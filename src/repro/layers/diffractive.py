@@ -14,7 +14,7 @@ Two variants mirror the paper's API (Table 2):
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

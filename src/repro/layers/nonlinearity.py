@@ -19,8 +19,6 @@ for the :class:`~repro.models.donn.DONN` stack.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.autograd import Module, Tensor, ops
 
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.autograd import Module, Parameter, Tensor, functional
+from repro.autograd import Module, Tensor, functional
 
 
 class PlaneNorm(Module):

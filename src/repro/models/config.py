@@ -10,7 +10,7 @@ object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, asdict, replace
+from dataclasses import dataclass, asdict, replace
 from typing import Dict, Optional
 
 from repro.optics.grid import SpatialGrid

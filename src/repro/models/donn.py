@@ -9,7 +9,7 @@ constructor with explicit layer modules.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
@@ -130,6 +130,16 @@ class DONN(Module):
         """Arg-max class prediction for a batch of images."""
         logits = self.forward(images)
         return np.asarray(logits.data.real).argmax(axis=-1)
+
+    def export_session(self, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None):
+        """Compile this model into an autograd-free :class:`InferenceSession`.
+
+        The session snapshots the current trained parameters; retrain and
+        re-export (or ``session.refresh()``) to serve updated weights.
+        """
+        from repro.engine import InferenceSession
+
+        return InferenceSession(self, batch_size=batch_size, backend=backend, workers=workers)
 
     # ------------------------------------------------------------------ #
     # Introspection used by deployment & visualisation

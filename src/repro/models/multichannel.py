@@ -112,6 +112,12 @@ class MultiChannelDONN(Module):
     def predict(self, rgb_images) -> np.ndarray:
         return np.asarray(self.forward(rgb_images).data.real).argmax(axis=-1)
 
+    def export_session(self, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None):
+        """Compile this model into an autograd-free :class:`InferenceSession`."""
+        from repro.engine import InferenceSession
+
+        return InferenceSession(self, batch_size=batch_size, backend=backend, workers=workers)
+
     def phase_patterns(self) -> List[List[np.ndarray]]:
         """Per-channel list of per-layer trained phase patterns."""
         return [[layer.phase_values() for layer in channel] for channel in self.channels]

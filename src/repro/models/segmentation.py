@@ -127,6 +127,12 @@ class SegmentationDONN(Module):
         medians = np.median(pattern, axis=(-2, -1), keepdims=True)
         return (pattern >= medians).astype(float)
 
+    def export_session(self, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None):
+        """Compile this model into an autograd-free :class:`InferenceSession`."""
+        from repro.engine import InferenceSession
+
+        return InferenceSession(self, batch_size=batch_size, backend=backend, workers=workers)
+
     def phase_patterns(self) -> List[np.ndarray]:
         patterns = [self.entry_layer.phase_values()]
         inner_layers = self.inner.body if self.use_skip else self.inner

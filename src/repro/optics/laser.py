@@ -8,11 +8,10 @@ be added without touching the class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
 import numpy as np
-from scipy import special
 
 from repro.autograd import Tensor
 from repro.optics.grid import SpatialGrid
@@ -40,6 +39,10 @@ def gaussian_profile(grid: SpatialGrid, waist_fraction: float = 0.5) -> np.ndarr
 
 def bessel_profile(grid: SpatialGrid, radial_frequency_fraction: float = 4.0) -> np.ndarray:
     """Zeroth-order Bessel beam amplitude |J0(k_r r)| (non-diffracting core)."""
+    try:  # scipy is optional; only Bessel beams need it
+        from scipy import special
+    except ImportError as error:  # pragma: no cover - scipy-free installs
+        raise ImportError("bessel_profile requires scipy (install the `fast` extra)") from error
     x, y = grid.coordinates
     radius = np.sqrt(x**2 + y**2)
     k_radial = 2.0 * np.pi * radial_frequency_fraction / grid.extent

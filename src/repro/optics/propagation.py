@@ -72,6 +72,9 @@ class Propagator:
         self.pad_factor = int(pad_factor)
         self._work_grid = grid if pad_factor == 1 else grid.padded(pad_factor)
         self.transfer_function = self._build_transfer_function(self._work_grid)
+        # Wrap once: re-wrapping the (constant) transfer function into a new
+        # Tensor on every call added per-batch overhead in the training loop.
+        self._transfer_tensor = Tensor(self.transfer_function)
 
     # -- to be provided by subclasses ------------------------------------- #
     def _build_transfer_function(self, grid: SpatialGrid) -> np.ndarray:
@@ -91,7 +94,7 @@ class Propagator:
         if pad:
             field = ops.pad2d(field, pad)
         spectrum = ops.fft2(field)
-        propagated = spectrum * Tensor(self.transfer_function)
+        propagated = spectrum * self._transfer_tensor
         out = ops.ifft2(propagated)
         if pad:
             out = ops.crop2d(out, pad)
@@ -169,19 +172,25 @@ class FraunhoferPropagator(Propagator):
         max_radius_sq = 2.0 * (self.grid.extent / 2.0) ** 2
         return self.distance > self.wavenumber * max_radius_sq / 2.0
 
+    def _prefactor_tensor(self) -> Tensor:
+        cached = getattr(self, "_cached_prefactor", None)
+        if cached is None:
+            x, y = self.grid.coordinates
+            prefactor = (
+                np.exp(1j * self.wavenumber * self.distance)
+                * np.exp(1j * self.wavenumber / (2.0 * self.distance) * (x**2 + y**2))
+                / (1j * self.wavelength * self.distance)
+            )
+            cached = Tensor(prefactor * self.grid.pixel_size**2)
+            self._cached_prefactor = cached
+        return cached
+
     def __call__(self, field: Tensor) -> Tensor:
         field = field if isinstance(field, Tensor) else Tensor(field)
         if field.shape[-2:] != self.grid.shape:
             raise ValueError(f"field shape {field.shape[-2:]} does not match grid {self.grid.shape}")
-        x, y = self.grid.coordinates
-        prefactor = (
-            np.exp(1j * self.wavenumber * self.distance)
-            * np.exp(1j * self.wavenumber / (2.0 * self.distance) * (x**2 + y**2))
-            / (1j * self.wavelength * self.distance)
-        )
-        scale = self.grid.pixel_size**2
         spectrum = ops.fftshift(ops.fft2(ops.ifftshift(field)))
-        return spectrum * Tensor(prefactor * scale)
+        return spectrum * self._prefactor_tensor()
 
 
 class DirectIntegrationPropagator(Propagator):

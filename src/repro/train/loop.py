@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -122,8 +122,34 @@ class Trainer:
         return result
 
 
-def evaluate_classifier(model: Module, images: np.ndarray, labels: np.ndarray, batch_size: int = 64) -> float:
-    """Accuracy of a classifier model over a dataset (no gradient recording)."""
+def _export_session(model, batch_size: int):
+    """Build an :class:`~repro.engine.InferenceSession` for ``model``."""
+    if hasattr(model, "export_session"):
+        return model.export_session(batch_size=batch_size)
+    from repro.engine import InferenceSession
+
+    return InferenceSession(model, batch_size=batch_size)
+
+
+def evaluate_classifier(
+    model: Module,
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 64,
+    use_engine: bool = False,
+) -> float:
+    """Accuracy of a classifier model over a dataset (no gradient recording).
+
+    With ``use_engine=True`` the model is compiled once into an
+    autograd-free :class:`~repro.engine.InferenceSession` and the dataset
+    is streamed through it -- the fast path for large evaluation sets.
+    """
+    labels = np.asarray(labels)
+    if use_engine:
+        session = _export_session(model, batch_size)
+        predictions = session.predict(images, batch_size=batch_size)
+        return float((predictions == labels).sum() / len(labels))
+    was_training = model.training
     model.eval()
     correct = 0
     with no_grad():
@@ -133,7 +159,7 @@ def evaluate_classifier(model: Module, images: np.ndarray, labels: np.ndarray, b
             logits = model(batch)
             predictions = np.asarray(logits.data.real).argmax(axis=-1)
             correct += int((predictions == batch_labels).sum())
-    model.train()
+    model.train(was_training)
     return correct / len(images)
 
 
@@ -144,24 +170,37 @@ def evaluate_with_detector_noise(
     noise_level: float,
     seed: int = 0,
     batch_size: int = 32,
+    use_engine: bool = False,
 ) -> Dict[str, float]:
     """Accuracy and confidence of a DONN under detector intensity noise.
 
     Reproduces the Figure 7 robustness protocol: uniform noise with upper
     bound ``noise_level`` (relative to the pattern maximum) is added to the
-    detector intensity pattern *before* region integration.
+    detector intensity pattern *before* region integration.  With
+    ``use_engine=True`` the detector patterns come from the compiled
+    inference engine; batching (and therefore the noise sequence) is
+    identical to the graph path.
     """
     noise = DetectorNoiseModel(level=noise_level, seed=seed)
-    model.eval()
     all_logits = []
-    with no_grad():
+    if use_engine:
+        session = _export_session(model, batch_size)
         for start in range(0, len(images), batch_size):
             batch = images[start : start + batch_size]
-            pattern = model.detector_pattern(batch)
-            noisy = noise.apply(np.asarray(pattern.data.real))
-            logits = model.detector.read(Tensor(noisy))
-            all_logits.append(np.asarray(logits.data.real))
-    model.train()
+            pattern = session.intensity_patterns(batch, batch_size=batch_size)
+            noisy = noise.apply(pattern)
+            all_logits.append(np.asarray(session.read_detector(noisy)))
+    else:
+        was_training = model.training
+        model.eval()
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                batch = images[start : start + batch_size]
+                pattern = model.detector_pattern(batch)
+                noisy = noise.apply(np.asarray(pattern.data.real))
+                logits = model.detector.read(Tensor(noisy))
+                all_logits.append(np.asarray(logits.data.real))
+        model.train(was_training)
     stacked = np.concatenate(all_logits, axis=0)
     return {
         "accuracy": accuracy(stacked, labels),

@@ -15,7 +15,7 @@ from repro.baselines import (
 )
 from repro.models import DONN, DONNConfig
 from repro.optics import RayleighSommerfeldPropagator, SpatialGrid
-from repro.train import Trainer, evaluate_classifier
+from repro.train import Trainer
 
 
 class TestLightPipesEmulator:
@@ -165,6 +165,7 @@ class TestRegularizationCalibration:
     def test_build_baseline_keeps_gamma_one(self, small_config):
         assert build_baseline_donn(small_config).config.amplitude_factor == 1.0
 
+    @pytest.mark.slow
     def test_regularized_training_beats_baseline(self, small_config, tiny_digits):
         """The Figure 7 effect: for a shallow DONN, calibrated-gamma training
         reaches higher accuracy than the gamma = 1 baseline training."""

@@ -8,7 +8,6 @@ from repro.data import (
     SCENE_CLASSES,
     batch_iterator,
     load_digits,
-    load_fashion,
     load_scenes,
     load_segmentation_scenes,
     render_digit,

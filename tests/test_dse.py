@@ -36,7 +36,9 @@ class TestDecisionTree:
         targets = np.sin(8 * features[:, 0])
         shallow = DecisionTreeRegressor(max_depth=1).fit(features, targets)
         deep = DecisionTreeRegressor(max_depth=5).fit(features, targets)
-        mse = lambda model: float(((model.predict(features) - targets) ** 2).mean())
+        def mse(model):
+            return float(((model.predict(features) - targets) ** 2).mean())
+
         assert mse(deep) < mse(shallow)
 
     def test_predict_before_fit_raises(self):

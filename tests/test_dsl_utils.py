@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor
 from repro.dsl import DesignFlow, build_config, build_detector, build_donn, spec_from_config
 from repro.layers import CodesignDiffractiveLayer, DiffractiveLayer
 from repro.models import DONN, DONNConfig

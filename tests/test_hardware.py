@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.codesign import DeviceProfile, FabricationVariation, ideal_profile, slm_profile, thz_mask_profile
+from repro.codesign import FabricationVariation, ideal_profile, slm_profile, thz_mask_profile
 from repro.hardware import (
     CMOSCamera,
     DIGITAL_PLATFORMS,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor, check_gradients
-from repro.codesign import DeviceProfile, ideal_profile, slm_profile
+from repro.codesign import ideal_profile
 from repro.layers import CodesignDiffractiveLayer, DiffractiveLayer, OpticalSkipConnection, PlaneNorm
 from repro.optics import SpatialGrid
 

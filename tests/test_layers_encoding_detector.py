@@ -5,7 +5,6 @@ import pytest
 
 from repro.autograd import Tensor
 from repro.layers import Detector, DetectorRegion, binarize_images, data_to_cplex, grid_region_layout, resize_images
-from repro.optics import SpatialGrid
 
 
 class TestResizeAndBinarize:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor, no_grad
+from repro.autograd import Tensor
 from repro.codesign import ideal_profile
 from repro.models import DONN, DONNConfig, MultiChannelDONN, SegmentationDONN
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor
-from repro.optics import BeamSplitter, Mirror, SpatialGrid, circular_aperture, rectangular_aperture, thin_lens_phase
+from repro.optics import BeamSplitter, Mirror, circular_aperture, rectangular_aperture, thin_lens_phase
 
 
 class TestApertures:

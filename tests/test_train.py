@@ -100,6 +100,7 @@ class TestTrainer:
         with pytest.raises(ValueError):
             Trainer(DONN(small_config), num_classes=10, loss="hinge")
 
+    @pytest.mark.slow
     def test_training_reduces_loss_and_improves_accuracy(self, small_config, tiny_digits):
         train_x, train_y, test_x, test_y = tiny_digits
         model = build_regularized_donn(small_config, train_x[:8])
@@ -116,6 +117,7 @@ class TestTrainer:
         trainer = Trainer(model, num_classes=10, optimizer=optimizer)
         assert trainer.optimizer is optimizer
 
+    @pytest.mark.slow
     def test_cross_entropy_training(self, small_config, tiny_digits):
         train_x, train_y, test_x, test_y = tiny_digits
         model = build_regularized_donn(small_config, train_x[:8])
