@@ -16,11 +16,12 @@ from repro.engine.backends import (
     available_backends,
     get_fft_backend,
 )
-from repro.engine.session import InferenceSession, compile_model
+from repro.engine.session import COMPLEX64_LOGIT_ATOL, InferenceSession, compile_model
 
 __all__ = [
     "InferenceSession",
     "compile_model",
+    "COMPLEX64_LOGIT_ATOL",
     "available_backends",
     "get_fft_backend",
     "NumpyFFTBackend",

@@ -13,6 +13,11 @@ backends are supported:
 Both backends use numpy's "backward" normalisation so engine outputs match
 the autograd kernels (:func:`repro.autograd.ops.fft2`) bit-for-bit in
 practice and to ``1e-10`` by contract.
+
+Both backends also preserve ``complex64`` inputs for the engine's
+reduced-precision mode: ``scipy.fft`` computes single-precision
+transforms natively, while ``np.fft`` always promotes to ``complex128``,
+so the numpy backend casts its results back to the input dtype.
 """
 
 from __future__ import annotations
@@ -22,6 +27,13 @@ from typing import Optional
 import numpy as np
 
 _AXES = (-2, -1)
+
+
+def _match_input_precision(out: np.ndarray, field: np.ndarray) -> np.ndarray:
+    """Cast an np.fft result back to complex64 when the input was complex64."""
+    if field.dtype == np.complex64:
+        return out.astype(np.complex64, copy=False)
+    return out
 
 
 def _import_scipy_fft():
@@ -44,10 +56,10 @@ class NumpyFFTBackend:
         self.workers = workers
 
     def fft2(self, field: np.ndarray) -> np.ndarray:
-        return np.fft.fft2(field, axes=_AXES)
+        return _match_input_precision(np.fft.fft2(field, axes=_AXES), field)
 
     def ifft2(self, spectrum: np.ndarray) -> np.ndarray:
-        return np.fft.ifft2(spectrum, axes=_AXES)
+        return _match_input_precision(np.fft.ifft2(spectrum, axes=_AXES), spectrum)
 
 
 class ScipyFFTBackend:

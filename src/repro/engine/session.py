@@ -9,35 +9,55 @@ model once into a flat numerical program:
 * every layer's phase modulation is snapshotted in eval mode (continuous
   phases for ``DiffractiveLayer``, the deterministic softmax expectation
   over device levels for ``CodesignDiffractiveLayer``);
+* every :class:`~repro.layers.nonlinearity.NonlinearLayer` is baked in as
+  its point-wise ndarray map (``apply_numpy``);
 * the detector's region masks are flattened into one read-out matrix.
 
 The forward pass is then raw batched FFTs and in-place elementwise
 products -- no ``Tensor`` wrapping, no graph bookkeeping -- streamed over
-arbitrarily large inputs in configurable batch chunks.  Outputs match the
-autograd eval path to ``atol=1e-10`` (see ``tests/test_engine.py``).
+arbitrarily large inputs in configurable batch chunks.  At the default
+``dtype="complex128"`` outputs match the autograd eval path to
+``atol=1e-10``; the opt-in ``dtype="complex64"`` mode halves the memory
+footprint of every cached kernel and intermediate, trading exactness for
+a documented accuracy budget of :data:`COMPLEX64_LOGIT_ATOL` on detector
+logits (see ``tests/test_engine.py``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from repro.autograd import no_grad
 from repro.engine.backends import get_fft_backend
 from repro.layers.encoding import data_to_cplex
+from repro.layers.nonlinearity import NonlinearLayer
 from repro.models.donn import DONN
 from repro.models.multichannel import MultiChannelDONN
 from repro.models.segmentation import SegmentationDONN
 from repro.optics.propagation import FraunhoferPropagator, Propagator
 
-PropagatorFn = Callable[[np.ndarray], np.ndarray]
+FieldFn = Callable[[np.ndarray], np.ndarray]
+
+#: Accuracy budget of the reduced-precision engine: with
+#: ``dtype="complex64"`` the detector logits (and segmentation intensity
+#: maps) of unit-scale inputs agree with the ``complex128`` engine within
+#: this absolute tolerance across all three model families.
+COMPLEX64_LOGIT_ATOL = 1e-4
 
 
-def _compile_propagator(propagator: Propagator, fft) -> PropagatorFn:
+def _resolve_complex_dtype(dtype) -> np.dtype:
+    resolved = np.dtype(dtype)
+    if resolved not in (np.dtype(np.complex64), np.dtype(np.complex128)):
+        raise ValueError(f"dtype must be complex64 or complex128, got {dtype!r}")
+    return resolved
+
+
+def _compile_propagator(propagator: Propagator, fft, cdtype: np.dtype) -> FieldFn:
     """Bake one propagator into a closure over cached kernel arrays."""
     if isinstance(propagator, FraunhoferPropagator):
-        prefactor = np.ascontiguousarray(propagator._prefactor_tensor().data)
+        prefactor = np.ascontiguousarray(propagator._prefactor_tensor().data).astype(cdtype, copy=False)
 
         def apply_fraunhofer(field: np.ndarray) -> np.ndarray:
             shifted = np.fft.ifftshift(field, axes=(-2, -1))
@@ -47,7 +67,7 @@ def _compile_propagator(propagator: Propagator, fft) -> PropagatorFn:
 
         return apply_fraunhofer
 
-    transfer = np.ascontiguousarray(propagator.transfer_function)
+    transfer = np.ascontiguousarray(propagator.transfer_function).astype(cdtype, copy=False)
     pad = (propagator._work_grid.size - propagator.grid.size) // 2
 
     def apply(field: np.ndarray) -> np.ndarray:
@@ -64,20 +84,47 @@ def _compile_propagator(propagator: Propagator, fft) -> PropagatorFn:
     return apply
 
 
-def _snapshot_modulation(layer) -> np.ndarray:
+def _snapshot_modulation(layer, cdtype: np.dtype) -> np.ndarray:
     """Eval-mode complex modulation of a diffractive layer as an ndarray."""
     with no_grad():
-        return np.ascontiguousarray(layer.modulation().data)
+        return np.ascontiguousarray(layer.modulation().data).astype(cdtype, copy=False)
 
 
-def _compile_stack(layers, fft) -> List[Tuple[PropagatorFn, np.ndarray]]:
-    return [(_compile_propagator(layer.propagator, fft), _snapshot_modulation(layer)) for layer in layers]
+def _compile_layer(layer, fft, cdtype: np.dtype) -> FieldFn:
+    propagate = _compile_propagator(layer.propagator, fft, cdtype)
+    modulation = _snapshot_modulation(layer, cdtype)
 
-
-def _apply_stack(field: np.ndarray, steps: Sequence[Tuple[PropagatorFn, np.ndarray]]) -> np.ndarray:
-    for propagate, modulation in steps:
+    def step(field: np.ndarray) -> np.ndarray:
         field = propagate(field)
         field *= modulation
+        return field
+
+    return step
+
+
+def _compile_nonlinearity(nonlinearity) -> FieldFn:
+    if isinstance(nonlinearity, NonlinearLayer) or hasattr(nonlinearity, "apply_numpy"):
+        return nonlinearity.apply_numpy
+    raise TypeError(
+        f"cannot compile nonlinearity {type(nonlinearity).__name__}: "
+        "engine compilation needs a NonlinearLayer (or any module exposing apply_numpy)"
+    )
+
+
+def _compile_stack(layers, fft, cdtype: np.dtype, nonlinearity=None) -> List[FieldFn]:
+    """Diffractive layers (+ optional interleaved nonlinearity) as a step list."""
+    nonlinear_step = _compile_nonlinearity(nonlinearity) if nonlinearity is not None else None
+    steps: List[FieldFn] = []
+    for layer in layers:
+        steps.append(_compile_layer(layer, fft, cdtype))
+        if nonlinear_step is not None:
+            steps.append(nonlinear_step)
+    return steps
+
+
+def _apply_stack(field: np.ndarray, steps: List[FieldFn]) -> np.ndarray:
+    for step in steps:
+        field = step(field)
     return field
 
 
@@ -97,20 +144,23 @@ class _DONNProgram:
 
     kind = "classifier"
 
-    def __init__(self, model: DONN, fft):
+    def __init__(self, model: DONN, fft, cdtype: np.dtype):
         config = model.config
         self.grid = config.grid
+        self.cdtype = cdtype
+        self.rdtype = np.dtype(np.float32 if cdtype == np.complex64 else np.float64)
         self.amplitude_factor = config.amplitude_factor
-        self.steps = _compile_stack(model.diffractive_layers, fft)
-        self.final = _compile_propagator(model.final_propagator, fft)
+        self.steps = _compile_stack(model.diffractive_layers, fft, cdtype, model.nonlinearity)
+        self.final = _compile_propagator(model.final_propagator, fft, cdtype)
         self.num_outputs = model.detector.num_classes
         # (N*N, C): logits = intensity_flat @ read_matrix.
-        self.read_matrix = np.ascontiguousarray(model.detector.read_matrix())
+        self.read_matrix = np.ascontiguousarray(model.detector.read_matrix()).astype(self.rdtype, copy=False)
 
     def encode(self, images: np.ndarray) -> np.ndarray:
-        return np.asarray(
+        field = np.asarray(
             data_to_cplex(images, grid=self.grid, amplitude_factor=self.amplitude_factor).data
         )
+        return field.astype(self.cdtype, copy=False)
 
     def detector_field(self, images: np.ndarray) -> np.ndarray:
         field = _apply_stack(self.encode(images), self.steps)
@@ -131,16 +181,20 @@ class _MultiChannelProgram:
 
     kind = "classifier"
 
-    def __init__(self, model: MultiChannelDONN, fft):
+    def __init__(self, model: MultiChannelDONN, fft, cdtype: np.dtype):
         config = model.config
         self.grid = config.grid
+        self.cdtype = cdtype
+        self.rdtype = np.dtype(np.float32 if cdtype == np.complex64 else np.float64)
         self.amplitude_factor = config.amplitude_factor
         self.num_channels = model.num_channels
         self.channel_scale = model._channel_scale
-        self.channels = [_compile_stack(channel, fft) for channel in model.channels]
-        self.final = _compile_propagator(model.final_propagator, fft)
+        self.channels = [
+            _compile_stack(channel, fft, cdtype, model.nonlinearity) for channel in model.channels
+        ]
+        self.final = _compile_propagator(model.final_propagator, fft, cdtype)
         self.num_outputs = model.detector.num_classes
-        self.read_matrix = np.ascontiguousarray(model.detector.read_matrix())
+        self.read_matrix = np.ascontiguousarray(model.detector.read_matrix()).astype(self.rdtype, copy=False)
 
     def intensity(self, rgb: np.ndarray) -> np.ndarray:
         if rgb.shape[-3] != self.num_channels:
@@ -151,7 +205,7 @@ class _MultiChannelProgram:
                 data_to_cplex(
                     rgb[..., index, :, :], grid=self.grid, amplitude_factor=self.amplitude_factor
                 ).data
-            )
+            ).astype(self.cdtype, copy=False)
             field *= self.channel_scale
             field = self.final(_apply_stack(field, steps))
             channel_intensity = _intensity(field)
@@ -170,15 +224,17 @@ class _SegmentationProgram:
 
     kind = "segmentation"
 
-    def __init__(self, model: SegmentationDONN, fft):
+    def __init__(self, model: SegmentationDONN, fft, cdtype: np.dtype):
         config = model.config
         self.grid = config.grid
+        self.cdtype = cdtype
         self.amplitude_factor = config.amplitude_factor
-        self.entry = _compile_stack([model.entry_layer], fft)
+        nonlinearity = model.nonlinearity
+        self.entry = _compile_stack([model.entry_layer], fft, cdtype, nonlinearity)
         inner_layers = model.inner.body if model.use_skip else model.inner
-        self.inner = _compile_stack(inner_layers, fft)
-        self.exit = _compile_stack([model.exit_layer], fft)
-        self.final = _compile_propagator(model.final_propagator, fft)
+        self.inner = _compile_stack(inner_layers, fft, cdtype, nonlinearity)
+        self.exit = _compile_stack([model.exit_layer], fft, cdtype, nonlinearity)
+        self.final = _compile_propagator(model.final_propagator, fft, cdtype)
         self.use_skip = model.use_skip
         if model.use_skip:
             skip_weight = model.inner.skip_weight
@@ -188,11 +244,11 @@ class _SegmentationProgram:
     def intensity(self, images: np.ndarray) -> np.ndarray:
         field = np.asarray(
             data_to_cplex(images, grid=self.grid, amplitude_factor=self.amplitude_factor).data
-        )
+        ).astype(self.cdtype, copy=False)
         field = _apply_stack(field, self.entry)
         if self.use_skip:
-            processed = _apply_stack(field * self.through_amplitude, self.inner)
-            field = processed + field * self.bypass_amplitude
+            processed = _apply_stack((field * self.through_amplitude).astype(self.cdtype, copy=False), self.inner)
+            field = processed + (field * self.bypass_amplitude).astype(self.cdtype, copy=False)
         else:
             field = _apply_stack(field, self.inner)
         field = _apply_stack(field, self.exit)
@@ -202,13 +258,13 @@ class _SegmentationProgram:
         return self.intensity(images)
 
 
-def _compile(model, fft):
+def _compile(model, fft, cdtype: np.dtype):
     if isinstance(model, SegmentationDONN):
-        return _SegmentationProgram(model, fft)
+        return _SegmentationProgram(model, fft, cdtype)
     if isinstance(model, MultiChannelDONN):
-        return _MultiChannelProgram(model, fft)
+        return _MultiChannelProgram(model, fft, cdtype)
     if isinstance(model, DONN):
-        return _DONNProgram(model, fft)
+        return _DONNProgram(model, fft, cdtype)
     raise TypeError(
         f"cannot compile {type(model).__name__}; expected DONN, MultiChannelDONN or SegmentationDONN"
     )
@@ -233,12 +289,25 @@ class InferenceSession:
         ``"scipy"`` or ``"numpy"``.
     workers:
         Thread count for the scipy backend's batched FFTs.
+    dtype:
+        ``"complex128"`` (default, matches autograd to ``1e-10``) or
+        ``"complex64"``: reduced-precision mode that halves cached-kernel
+        and intermediate memory for memory-bound sizes, accurate to
+        :data:`COMPLEX64_LOGIT_ATOL` on detector logits.
     """
 
-    def __init__(self, model, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None):
+    def __init__(
+        self,
+        model,
+        batch_size: int = 64,
+        backend: str = "auto",
+        workers: Optional[int] = None,
+        dtype="complex128",
+    ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = int(batch_size)
+        self.dtype = _resolve_complex_dtype(dtype)
         self.fft = get_fft_backend(backend, workers=workers)
         self._model = model
         self._program = self._snapshot(model)
@@ -248,7 +317,7 @@ class InferenceSession:
         model.eval()
         try:
             with no_grad():
-                return _compile(model, self.fft)
+                return _compile(model, self.fft, self.dtype)
         finally:
             model.train(was_training)
 
@@ -264,6 +333,14 @@ class InferenceSession:
     def backend_name(self) -> str:
         return self.fft.name
 
+    @property
+    def input_shape(self):
+        """Expected per-request input shape (used by ``repro.serve``)."""
+        shape = self._program.grid.shape
+        if isinstance(self._program, _MultiChannelProgram):
+            return (self._program.num_channels,) + shape
+        return shape
+
     def refresh(self) -> "InferenceSession":
         """Re-snapshot the model's current parameters into the session."""
         self._program = self._snapshot(self._model)
@@ -272,7 +349,7 @@ class InferenceSession:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"InferenceSession(kind={self.kind!r}, backend={self.backend_name!r}, "
-            f"batch_size={self.batch_size})"
+            f"batch_size={self.batch_size}, dtype={self.dtype.name!r})"
         )
 
     # ------------------------------------------------------------------ #
@@ -289,14 +366,20 @@ class InferenceSession:
         elif array.ndim == 2:
             return compute(array)
         size = int(batch_size or self.batch_size)
-        if len(array) == 0:
-            # An empty query batch is legal for a serving engine: the whole
-            # pipeline is shape-polymorphic, so one pass yields (0, ...).
+        total = len(array)
+        if total <= size:
+            # One chunk covers everything (chunk_size >= batch, a batch of
+            # one, or an empty query batch): hand the whole array to the
+            # program and return its output as-is -- no scratch buffer.
             return compute(array)
-        chunks = [compute(array[start : start + size]) for start in range(0, len(array), size)]
-        if len(chunks) == 1:
-            return chunks[0]
-        return np.concatenate(chunks, axis=0)
+        # Stream into a preallocated output so peak extra memory is one
+        # chunk, not a list of every chunk plus a concatenate copy.
+        first = compute(array[:size])
+        out = np.empty((total,) + first.shape[1:], dtype=first.dtype)
+        out[:size] = first
+        for start in range(size, total, size):
+            out[start : start + size] = compute(array[start : start + size])
+        return out
 
     def run(self, images, batch_size: Optional[int] = None) -> np.ndarray:
         """Forward a dataset in chunks.
@@ -330,9 +413,15 @@ class InferenceSession:
         """Integrate intensity patterns over the per-class detector regions."""
         if self.kind != "classifier":
             raise RuntimeError("read_detector() requires a classifier session")
-        return self._program.read(np.asarray(intensity, dtype=float))
+        return self._program.read(np.asarray(intensity, dtype=self._program.rdtype))
 
 
-def compile_model(model, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None) -> InferenceSession:
+def compile_model(
+    model,
+    batch_size: int = 64,
+    backend: str = "auto",
+    workers: Optional[int] = None,
+    dtype="complex128",
+) -> InferenceSession:
     """Functional alias for :class:`InferenceSession` construction."""
-    return InferenceSession(model, batch_size=batch_size, backend=backend, workers=workers)
+    return InferenceSession(model, batch_size=batch_size, backend=backend, workers=workers, dtype=dtype)

@@ -18,7 +18,7 @@ from repro.layers.detector import Detector, DetectorRegion, grid_region_layout
 from repro.layers.encoding import data_to_cplex, resize_images, binarize_images
 from repro.layers.skip import OpticalSkipConnection
 from repro.layers.normalization import PlaneNorm
-from repro.layers.nonlinearity import SaturableAbsorber, KerrPhaseLayer
+from repro.layers.nonlinearity import NonlinearLayer, SaturableAbsorber, KerrPhaseLayer, make_nonlinearity
 
 __all__ = [
     "DiffractiveLayer",
@@ -31,6 +31,8 @@ __all__ = [
     "binarize_images",
     "OpticalSkipConnection",
     "PlaneNorm",
+    "NonlinearLayer",
     "SaturableAbsorber",
     "KerrPhaseLayer",
+    "make_nonlinearity",
 ]

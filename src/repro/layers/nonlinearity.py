@@ -14,15 +14,47 @@ extended architectures can be explored in emulation today:
   analogue of a multiplicative interaction.
 
 Both act point-wise on the complex field and are therefore drop-in layers
-for the :class:`~repro.models.donn.DONN` stack.
+for the :class:`~repro.models.donn.DONN` stack: every model family accepts
+a ``nonlinearity=`` element that is inserted after each diffractive layer.
+
+Each nonlinearity implements the shared :class:`NonlinearLayer` interface:
+``forward`` is the differentiable autograd path used in training, and
+``apply_numpy`` is the same point-wise map on a raw ndarray, which is what
+the autograd-free inference engine (:mod:`repro.engine`) bakes into its
+compiled programs.  The two paths are required to agree to ``1e-10``
+(``tests/test_layers_nonlinearity.py``, ``tests/test_engine.py``).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.autograd import Module, Tensor, ops
 
 
-class SaturableAbsorber(Module):
+class NonlinearLayer(Module):
+    """Base class for point-wise all-optical nonlinearities.
+
+    Subclasses model a thin nonlinear film: a map ``field -> field`` that
+    acts element-wise on the complex wavefield and depends only on the
+    local intensity.  They must provide both the differentiable
+    :meth:`forward` (training) and the ndarray :meth:`apply_numpy`
+    (inference-engine compilation) with identical numerics.
+    """
+
+    def forward(self, field: Tensor) -> Tensor:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def apply_numpy(self, field: np.ndarray) -> np.ndarray:
+        """Apply the nonlinearity to a plain complex ndarray.
+
+        Must preserve the input's complex dtype (``complex64`` stays
+        ``complex64``) so the engine's reduced-precision mode works.
+        """
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class SaturableAbsorber(NonlinearLayer):
     """Intensity-dependent transmission (a smooth all-optical activation).
 
     Parameters
@@ -53,8 +85,17 @@ class SaturableAbsorber(Module):
         intensity = field.abs2()
         return field * self.transmission(intensity).to_complex()
 
+    def apply_numpy(self, field: np.ndarray) -> np.ndarray:
+        intensity = (field * np.conj(field)).real
+        saturating = intensity / (intensity + self.saturation_intensity)
+        power_transmission = self.linear_transmission + (1.0 - self.linear_transmission) * saturating
+        attenuated = field * np.sqrt(power_transmission)
+        # Python-float scalars may promote float32 intermediates on older
+        # numpy; pin the field's own complex dtype for reduced precision.
+        return attenuated.astype(field.dtype, copy=False)
 
-class KerrPhaseLayer(Module):
+
+class KerrPhaseLayer(NonlinearLayer):
     """Kerr-type self-phase modulation: phase shift proportional to intensity."""
 
     def __init__(self, nonlinear_coefficient: float = 1.0):
@@ -64,3 +105,26 @@ class KerrPhaseLayer(Module):
     def forward(self, field: Tensor) -> Tensor:
         phase_shift = field.abs2() * self.nonlinear_coefficient
         return field * ops.exp_i(phase_shift)
+
+    def apply_numpy(self, field: np.ndarray) -> np.ndarray:
+        phase_shift = (field * np.conj(field)).real * self.nonlinear_coefficient
+        modulated = field * np.exp(1j * phase_shift)
+        # 1j * float32 promotes to complex128 on pre-NEP50 numpy; pin the
+        # field's own complex dtype so reduced-precision serving stays put.
+        return modulated.astype(field.dtype, copy=False)
+
+
+def make_nonlinearity(kind, **kwargs) -> NonlinearLayer:
+    """Resolve a nonlinearity spec: an instance, ``None``-like, or a name.
+
+    Accepts a :class:`NonlinearLayer` (returned as-is) or one of the
+    string names ``"saturable"`` / ``"kerr"`` with constructor kwargs.
+    """
+    if isinstance(kind, NonlinearLayer):
+        return kind
+    key = str(kind).lower()
+    if key in ("saturable", "saturable_absorber", "sa"):
+        return SaturableAbsorber(**kwargs)
+    if key in ("kerr", "kerr_phase"):
+        return KerrPhaseLayer(**kwargs)
+    raise ValueError(f"unknown nonlinearity {kind!r}; choose 'saturable' or 'kerr'")

@@ -9,7 +9,7 @@ which the paper shows improves segmentation detail and smooths training.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -23,16 +23,19 @@ class OpticalSkipConnection(Module):
     Forward: the input field is split; one arm traverses ``layers``, the
     other bypasses them; the two arms are recombined with a second beam
     splitter.  ``skip_weight`` sets the power fraction routed through the
-    bypass arm (0.5 = balanced splitter).
+    bypass arm (0.5 = balanced splitter).  An optional ``nonlinearity``
+    (a :class:`~repro.layers.nonlinearity.NonlinearLayer`) is applied
+    after each body layer; the bypass arm stays linear.
     """
 
-    def __init__(self, layers: Sequence[Module], skip_weight: float = 0.5):
+    def __init__(self, layers: Sequence[Module], skip_weight: float = 0.5, nonlinearity: Optional[Module] = None):
         super().__init__()
         if not 0.0 < skip_weight < 1.0:
             raise ValueError("skip_weight must be in (0, 1)")
         self.body = ModuleList(layers)
         self.skip_weight = float(skip_weight)
         self.splitter = BeamSplitter()
+        self.nonlinearity = nonlinearity
 
     def forward(self, field: Tensor) -> Tensor:
         through_amplitude = float(np.sqrt(1.0 - self.skip_weight))
@@ -40,5 +43,7 @@ class OpticalSkipConnection(Module):
         processed = field * through_amplitude
         for layer in self.body:
             processed = layer(processed)
+            if self.nonlinearity is not None:
+                processed = self.nonlinearity(processed)
         bypass = field * bypass_amplitude
         return processed + bypass

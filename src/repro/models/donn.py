@@ -18,6 +18,7 @@ from repro.codesign.device import DeviceProfile
 from repro.layers.detector import Detector
 from repro.layers.diffractive import CodesignDiffractiveLayer, DiffractiveLayer
 from repro.layers.encoding import data_to_cplex
+from repro.layers.nonlinearity import make_nonlinearity
 from repro.models.config import DONNConfig
 from repro.optics.propagation import make_propagator
 
@@ -37,6 +38,11 @@ class DONN(Module):
     detector:
         Custom detector; by default ``config.num_classes`` regions are laid
         out automatically.
+    nonlinearity:
+        Optional all-optical activation inserted after every diffractive
+        layer: a :class:`~repro.layers.nonlinearity.NonlinearLayer`
+        instance or a name (``"saturable"`` / ``"kerr"``).  Supported by
+        both the autograd path and the compiled inference engine.
     """
 
     def __init__(
@@ -44,11 +50,13 @@ class DONN(Module):
         config: DONNConfig,
         device_profile: Optional[DeviceProfile] = None,
         detector: Optional[Detector] = None,
+        nonlinearity=None,
         rng: Optional[np.random.Generator] = None,
     ):
         super().__init__()
         self.config = config
         self.device_profile = device_profile
+        self.nonlinearity = make_nonlinearity(nonlinearity) if nonlinearity is not None else None
         rng = rng or np.random.default_rng(config.seed)
         grid = config.grid
 
@@ -102,6 +110,8 @@ class DONN(Module):
         """Run the optical stack: all diffractive layers + final hop."""
         for layer in self.diffractive_layers:
             field = layer(field)
+            if self.nonlinearity is not None:
+                field = self.nonlinearity(field)
         return self.final_propagator(field)
 
     def forward(self, images) -> Tensor:
@@ -122,6 +132,8 @@ class DONN(Module):
         fields = []
         for layer in self.diffractive_layers:
             field = layer(field)
+            if self.nonlinearity is not None:
+                field = self.nonlinearity(field)
             fields.append(field)
         fields.append(self.final_propagator(field))
         return fields
@@ -131,15 +143,18 @@ class DONN(Module):
         logits = self.forward(images)
         return np.asarray(logits.data.real).argmax(axis=-1)
 
-    def export_session(self, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None):
+    def export_session(
+        self, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None, dtype="complex128"
+    ):
         """Compile this model into an autograd-free :class:`InferenceSession`.
 
         The session snapshots the current trained parameters; retrain and
         re-export (or ``session.refresh()``) to serve updated weights.
+        ``dtype="complex64"`` opts into the reduced-precision engine mode.
         """
         from repro.engine import InferenceSession
 
-        return InferenceSession(self, batch_size=batch_size, backend=backend, workers=workers)
+        return InferenceSession(self, batch_size=batch_size, backend=backend, workers=workers, dtype=dtype)
 
     # ------------------------------------------------------------------ #
     # Introspection used by deployment & visualisation

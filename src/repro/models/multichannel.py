@@ -17,6 +17,7 @@ from repro.autograd import Module, ModuleList, Tensor
 from repro.layers.detector import Detector
 from repro.layers.diffractive import DiffractiveLayer
 from repro.layers.encoding import data_to_cplex
+from repro.layers.nonlinearity import make_nonlinearity
 from repro.models.config import DONNConfig
 from repro.optics.propagation import make_propagator
 
@@ -31,6 +32,9 @@ class MultiChannelDONN(Module):
         with 5 layers per channel).
     num_channels:
         Number of optical channels (3 for R/G/B).
+    nonlinearity:
+        Optional all-optical activation inserted after every diffractive
+        layer in every channel (instance or ``"saturable"`` / ``"kerr"``).
     """
 
     def __init__(
@@ -38,6 +42,7 @@ class MultiChannelDONN(Module):
         config: DONNConfig,
         num_channels: int = 3,
         detector: Optional[Detector] = None,
+        nonlinearity=None,
         rng: Optional[np.random.Generator] = None,
     ):
         super().__init__()
@@ -45,6 +50,7 @@ class MultiChannelDONN(Module):
             raise ValueError("num_channels must be >= 1")
         self.config = config
         self.num_channels = num_channels
+        self.nonlinearity = make_nonlinearity(nonlinearity) if nonlinearity is not None else None
         rng = rng or np.random.default_rng(config.seed)
         grid = config.grid
 
@@ -87,6 +93,8 @@ class MultiChannelDONN(Module):
     def propagate_channel(self, index: int, field: Tensor) -> Tensor:
         for layer in self.channels[index]:
             field = layer(field)
+            if self.nonlinearity is not None:
+                field = self.nonlinearity(field)
         return self.final_propagator(field)
 
     def forward(self, rgb_images) -> Tensor:
@@ -112,11 +120,13 @@ class MultiChannelDONN(Module):
     def predict(self, rgb_images) -> np.ndarray:
         return np.asarray(self.forward(rgb_images).data.real).argmax(axis=-1)
 
-    def export_session(self, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None):
+    def export_session(
+        self, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None, dtype="complex128"
+    ):
         """Compile this model into an autograd-free :class:`InferenceSession`."""
         from repro.engine import InferenceSession
 
-        return InferenceSession(self, batch_size=batch_size, backend=backend, workers=workers)
+        return InferenceSession(self, batch_size=batch_size, backend=backend, workers=workers, dtype=dtype)
 
     def phase_patterns(self) -> List[List[np.ndarray]]:
         """Per-channel list of per-layer trained phase patterns."""

@@ -20,6 +20,7 @@ import numpy as np
 from repro.autograd import Module, ModuleList, Tensor
 from repro.layers.diffractive import DiffractiveLayer
 from repro.layers.encoding import data_to_cplex
+from repro.layers.nonlinearity import make_nonlinearity
 from repro.layers.normalization import PlaneNorm
 from repro.layers.skip import OpticalSkipConnection
 from repro.models.config import DONNConfig
@@ -38,6 +39,11 @@ class SegmentationDONN(Module):
         Disable to obtain the paper's baseline architecture.
     use_layer_norm:
         Disable to obtain the paper's baseline training method.
+    nonlinearity:
+        Optional all-optical activation inserted after every diffractive
+        layer (instance or ``"saturable"`` / ``"kerr"``).  Inside the
+        optical skip connection only the processing arm is nonlinear; the
+        bypass arm stays a linear copy.
     """
 
     def __init__(
@@ -46,6 +52,7 @@ class SegmentationDONN(Module):
         use_skip: bool = True,
         use_layer_norm: bool = True,
         skip_weight: float = 0.5,
+        nonlinearity=None,
         rng: Optional[np.random.Generator] = None,
     ):
         super().__init__()
@@ -54,6 +61,7 @@ class SegmentationDONN(Module):
         self.config = config
         self.use_skip = use_skip
         self.use_layer_norm = use_layer_norm
+        self.nonlinearity = make_nonlinearity(nonlinearity) if nonlinearity is not None else None
         rng = rng or np.random.default_rng(config.seed)
         grid = config.grid
 
@@ -72,7 +80,9 @@ class SegmentationDONN(Module):
         self.entry_layer = new_layer()
         inner_layers = [new_layer() for _ in range(inner_count)]
         if use_skip:
-            self.inner = OpticalSkipConnection(inner_layers, skip_weight=skip_weight)
+            self.inner = OpticalSkipConnection(
+                inner_layers, skip_weight=skip_weight, nonlinearity=self.nonlinearity
+            )
         else:
             self.inner = ModuleList(inner_layers)
         self.exit_layer = new_layer()
@@ -90,12 +100,18 @@ class SegmentationDONN(Module):
 
     def propagate(self, field: Tensor) -> Tensor:
         field = self.entry_layer(field)
+        if self.nonlinearity is not None:
+            field = self.nonlinearity(field)
         if self.use_skip:
             field = self.inner(field)
         else:
             for layer in self.inner:
                 field = layer(field)
+                if self.nonlinearity is not None:
+                    field = self.nonlinearity(field)
         field = self.exit_layer(field)
+        if self.nonlinearity is not None:
+            field = self.nonlinearity(field)
         return self.final_propagator(field)
 
     def forward(self, images) -> Tensor:
@@ -127,11 +143,13 @@ class SegmentationDONN(Module):
         medians = np.median(pattern, axis=(-2, -1), keepdims=True)
         return (pattern >= medians).astype(float)
 
-    def export_session(self, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None):
+    def export_session(
+        self, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None, dtype="complex128"
+    ):
         """Compile this model into an autograd-free :class:`InferenceSession`."""
         from repro.engine import InferenceSession
 
-        return InferenceSession(self, batch_size=batch_size, backend=backend, workers=workers)
+        return InferenceSession(self, batch_size=batch_size, backend=backend, workers=workers, dtype=dtype)
 
     def phase_patterns(self) -> List[np.ndarray]:
         patterns = [self.entry_layer.phase_values()]

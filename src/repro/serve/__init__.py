@@ -1,0 +1,42 @@
+"""``repro.serve``: async dynamic-batching serving over the inference engine.
+
+The roadmap's "heavy traffic" scenario: put compiled
+:class:`~repro.engine.InferenceSession` programs behind an asyncio
+front-end that coalesces concurrent single-image requests into fused
+batched engine calls.
+
+Public surface:
+
+* :class:`InferenceServer` -- multi-tenant façade: register models by
+  name, ``async with server:``, ``await server.submit(name, image)``.
+* :class:`DynamicBatcher` -- per-model request queue + coalescing worker
+  (``max_batch`` / ``max_wait_ms`` / bounded ``max_queue``).
+* :class:`SessionRegistry` -- name -> session catalogue.
+* :class:`ServeError` hierarchy -- explicit overload / closed / unknown
+  model errors.
+
+See ``examples/serving_demo.py`` and the README's Serving section for the
+workflow, and ``benchmarks/bench_serving_throughput.py`` for the
+batched-vs-sequential throughput numbers.
+"""
+
+from repro.serve.batcher import BatcherStats, DynamicBatcher
+from repro.serve.errors import (
+    ServeError,
+    ServerClosedError,
+    ServerOverloadedError,
+    UnknownModelError,
+)
+from repro.serve.registry import SessionRegistry
+from repro.serve.server import InferenceServer
+
+__all__ = [
+    "InferenceServer",
+    "DynamicBatcher",
+    "BatcherStats",
+    "SessionRegistry",
+    "ServeError",
+    "ServerOverloadedError",
+    "ServerClosedError",
+    "UnknownModelError",
+]

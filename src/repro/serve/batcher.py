@@ -1,0 +1,273 @@
+"""Dynamic micro-batch coalescing over one inference session.
+
+The engine's throughput comes from batched FFTs: one fused call over B
+images is far cheaper than B single-image calls, because the fixed
+per-invocation cost (python dispatch, FFT plan lookup, kernel launches)
+amortizes over the batch.  :class:`DynamicBatcher` converts *concurrent
+single-image requests* into exactly that shape of work:
+
+* requests enter a bounded queue (overflow raises
+  :class:`~repro.serve.errors.ServerOverloadedError` immediately -- no
+  silent buffering, no deadlock);
+* a worker task collects up to ``max_batch`` requests, waiting at most
+  ``max_wait_ms`` after the first one arrives -- and flushing early when
+  arrivals pause for ``idle_flush_ms`` (a full linger would tax every
+  batch with the worst-case wait even after a convoy has fully arrived);
+* the batch runs as **one** engine call (in a thread-pool executor by
+  default, so the event loop keeps accepting requests while numpy works);
+* each result row is scattered back to its caller's future.
+
+``max_wait_ms`` trades tail latency for fusion: 0 fuses only what is
+already queued, a few milliseconds lets closed-loop clients pile up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.errors import ServerClosedError, ServerOverloadedError
+
+_STOP = object()
+
+
+@dataclass
+class BatcherStats:
+    """Counters exposed by :meth:`DynamicBatcher.stats` (and the server)."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.completed / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "mean_batch_size": self.mean_batch_size,
+        }
+
+
+class DynamicBatcher:
+    """Coalesce concurrent requests into fused engine calls.
+
+    Parameters
+    ----------
+    session:
+        Anything with ``run(batch, batch_size=...) -> ndarray`` whose
+        result's leading axis indexes the batch -- an
+        :class:`~repro.engine.InferenceSession` in production, a fake in
+        tests.
+    max_batch:
+        Upper bound on requests fused into one engine call.
+    max_wait_ms:
+        Hard cap on how long the worker lingers after the first request
+        of a batch for more requests to coalesce.
+    idle_flush_ms:
+        Flush the forming batch once no new request has arrived for this
+        long (default: ``max_wait_ms / 4``).  Closed-loop convoys arrive
+        within microseconds of each other, so this keeps the fused batch
+        large while shedding almost the entire linger from the latency.
+        ``0`` flushes as soon as the queue empties.
+    max_queue:
+        Bound on queued (not yet running) requests; beyond it
+        :meth:`submit` raises :class:`ServerOverloadedError`.
+    input_shape:
+        When given, each request payload must have exactly this shape
+        (malformed requests fail fast instead of poisoning a batch).
+    run_in_executor:
+        Run engine calls in the default thread-pool executor so the event
+        loop stays responsive (numpy/scipy FFTs release the GIL).  Disable
+        for fully deterministic unit tests.
+
+    Requests may be submitted before :meth:`start`; they queue up (within
+    ``max_queue``) and run once the worker starts.
+    """
+
+    def __init__(
+        self,
+        session,
+        *,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 256,
+        idle_flush_ms: Optional[float] = None,
+        input_shape: Optional[Sequence[int]] = None,
+        run_in_executor: bool = True,
+        name: str = "",
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if idle_flush_ms is not None and idle_flush_ms < 0:
+            raise ValueError("idle_flush_ms must be >= 0")
+        if not callable(getattr(session, "run", None)):
+            raise TypeError(f"session must expose run(batch, batch_size=...); got {type(session).__name__}")
+        self.session = session
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self.idle_flush = (float(idle_flush_ms) / 1000.0) if idle_flush_ms is not None else self.max_wait / 4.0
+        self.max_queue = int(max_queue)
+        self.input_shape = tuple(input_shape) if input_shape is not None else None
+        self.run_in_executor = bool(run_in_executor)
+        self.name = name or type(session).__name__
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_queue + 1)  # +1 for the stop sentinel
+        self._worker: Optional[asyncio.Task] = None
+        self._closed = False
+        self._stats = BatcherStats()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        return self._worker is not None and not self._worker.done()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def start(self) -> "DynamicBatcher":
+        """Spawn the worker task on the running event loop."""
+        if self._closed:
+            raise ServerClosedError(f"batcher {self.name!r} is closed")
+        if self._worker is None or self._worker.done():
+            self._worker = asyncio.get_running_loop().create_task(
+                self._worker_loop(), name=f"repro-serve-{self.name}"
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting requests, drain the queue, and join the worker."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._worker is None:
+            # Never started: fail any queued requests instead of stranding them.
+            while not self._queue.empty():
+                _, future = self._queue.get_nowait()
+                if not future.done():
+                    future.set_exception(ServerClosedError(f"batcher {self.name!r} stopped before starting"))
+            return
+        await self._queue.put(_STOP)
+        await self._worker
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    async def submit(self, payload) -> np.ndarray:
+        """Submit one request; resolves to that request's result row.
+
+        Raises :class:`ServerOverloadedError` when the queue is full and
+        :class:`ServerClosedError` after :meth:`stop`.
+        """
+        if self._closed:
+            raise ServerClosedError(f"batcher {self.name!r} is closed")
+        array = np.asarray(payload, dtype=float)
+        if self.input_shape is not None and array.shape != self.input_shape:
+            raise ValueError(
+                f"{self.name!r} expects input shape {self.input_shape}, got {array.shape}"
+            )
+        future = asyncio.get_running_loop().create_future()
+        if self._queue.qsize() >= self.max_queue:
+            self._stats.rejected += 1
+            raise ServerOverloadedError(
+                f"batcher {self.name!r} is overloaded ({self.max_queue} requests pending)"
+            )
+        self._queue.put_nowait((array, future))
+        self._stats.submitted += 1
+        return await future
+
+    def stats(self) -> BatcherStats:
+        return self._stats
+
+    # ------------------------------------------------------------------ #
+    # Worker
+    # ------------------------------------------------------------------ #
+    async def _worker_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is _STOP:
+                return
+            batch: List[Tuple[np.ndarray, asyncio.Future]] = [item]
+            stopping = False
+            deadline = loop.time() + self.max_wait
+            while not stopping and len(batch) < self.max_batch:
+                # Sweep everything already queued -- no timer machinery on
+                # this path, so convoys fuse at zero added latency.
+                try:
+                    while len(batch) < self.max_batch:
+                        nxt = self._queue.get_nowait()
+                        if nxt is _STOP:
+                            stopping = True
+                            break
+                        batch.append(nxt)
+                except asyncio.QueueEmpty:
+                    pass
+                if stopping or len(batch) >= self.max_batch:
+                    break
+                # Queue drained: linger for the next arrival, bounded by
+                # the idle-flush gap and the overall deadline.
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                timeout = min(remaining, self.idle_flush) if self.idle_flush > 0 else 0.0
+                if timeout <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break  # arrivals paused; flush what we have
+                if nxt is _STOP:
+                    stopping = True
+                else:
+                    batch.append(nxt)
+            await self._execute(batch)
+            if stopping:
+                return
+
+    async def _execute(self, batch: List[Tuple[np.ndarray, Any]]) -> None:
+        payloads = [payload for payload, _ in batch]
+        futures = [future for _, future in batch]
+        try:
+            stacked = np.stack(payloads, axis=0)
+            if self.run_in_executor:
+                loop = asyncio.get_running_loop()
+                results = await loop.run_in_executor(None, self._fused_call, stacked)
+            else:
+                results = self._fused_call(stacked)
+            results = np.asarray(results)
+            if len(results) != len(batch):
+                raise RuntimeError(
+                    f"engine returned {len(results)} rows for a batch of {len(batch)}"
+                )
+        except Exception as exc:
+            for future in futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self._stats.batches += 1
+        self._stats.completed += len(batch)
+        self._stats.largest_batch = max(self._stats.largest_batch, len(batch))
+        for future, row in zip(futures, results):
+            if not future.done():
+                future.set_result(row)
+
+    def _fused_call(self, stacked: np.ndarray) -> np.ndarray:
+        """One engine call over the whole coalesced batch."""
+        return self.session.run(stacked, batch_size=len(stacked))

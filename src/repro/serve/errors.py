@@ -1,0 +1,27 @@
+"""Error types of the serving layer.
+
+All serving failures derive from :class:`ServeError` so callers can catch
+one base class.  Overload is an explicit, immediate error -- a bounded
+queue rejecting work loudly beats an unbounded one deadlocking quietly.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Base class for all ``repro.serve`` errors."""
+
+
+class ServerOverloadedError(ServeError):
+    """The request queue is full; the caller should back off and retry."""
+
+
+class ServerClosedError(ServeError):
+    """The server/batcher has been stopped and accepts no new requests."""
+
+
+class UnknownModelError(ServeError, KeyError):
+    """No session is registered under the requested model name."""
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message readable
+        return Exception.__str__(self)

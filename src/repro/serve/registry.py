@@ -1,0 +1,81 @@
+"""Multi-tenant session registry: model name -> compiled inference session.
+
+One serving process hosts many models -- a digit classifier, an RGB
+multi-channel classifier and a segmentation model can all answer traffic
+concurrently, each behind its own dynamic batcher.  The registry is the
+name-keyed catalogue the server routes requests with.
+
+``register`` accepts either an already-compiled
+:class:`~repro.engine.InferenceSession` (or any session-like object with
+``run(batch, batch_size=...)``), or a trainable model exposing
+``export_session`` -- in which case it is compiled on the spot with the
+given session options (``dtype="complex64"`` etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.serve.errors import UnknownModelError
+
+
+class SessionRegistry:
+    """Name-keyed catalogue of inference sessions for multi-tenant serving."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, object] = {}
+
+    def register(self, name: str, model_or_session, *, replace: bool = False, **session_kwargs):
+        """Register a session under ``name`` and return it.
+
+        ``model_or_session`` is either a session-like object (used as-is;
+        ``session_kwargs`` must then be empty) or a model with
+        ``export_session(**session_kwargs)``.
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError("model name must be a non-empty string")
+        if name in self._sessions and not replace:
+            raise ValueError(f"model {name!r} is already registered (pass replace=True to swap it)")
+        if hasattr(model_or_session, "export_session"):
+            session = model_or_session.export_session(**session_kwargs)
+        elif callable(getattr(model_or_session, "run", None)):
+            if session_kwargs:
+                raise ValueError(
+                    f"session options {sorted(session_kwargs)} need a model with export_session; "
+                    f"{type(model_or_session).__name__} is already a session"
+                )
+            session = model_or_session
+        else:
+            raise TypeError(
+                f"cannot register {type(model_or_session).__name__}: expected an InferenceSession-like "
+                "object (run method) or a model with export_session()"
+            )
+        self._sessions[name] = session
+        return session
+
+    def unregister(self, name: str) -> None:
+        if name not in self._sessions:
+            raise UnknownModelError(f"no model registered under {name!r}")
+        del self._sessions[name]
+
+    def get(self, name: str):
+        try:
+            return self._sessions[name]
+        except KeyError:
+            known = ", ".join(sorted(self._sessions)) or "<none>"
+            raise UnknownModelError(f"no model registered under {name!r} (registered: {known})") from None
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._sessions)
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        return iter(self._sessions.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SessionRegistry({sorted(self._sessions)})"

@@ -1,0 +1,200 @@
+"""The asyncio serving front-end: registry + one dynamic batcher per model.
+
+:class:`InferenceServer` is the piece user code talks to::
+
+    server = InferenceServer(max_batch=32, max_wait_ms=2.0)
+    server.add_model("digits", donn_model)            # compiles a session
+    server.add_model("scenes", seg_session)           # or use one directly
+    async with server:
+        logits = await server.submit("digits", image)
+
+Each registered model gets its own :class:`DynamicBatcher` (own queue, own
+worker task, own stats), so a slow segmentation model cannot head-of-line
+block the digit classifier.  Requests to unknown names raise
+:class:`UnknownModelError`; a full per-model queue raises
+:class:`ServerOverloadedError`; a stopped server raises
+:class:`ServerClosedError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.batcher import BatcherStats, DynamicBatcher
+from repro.serve.errors import ServerClosedError
+from repro.serve.registry import SessionRegistry
+
+
+def _expected_input_shape(session) -> Optional[Sequence[int]]:
+    """Per-request payload shape for shape validation, when the session knows it."""
+    shape = getattr(session, "input_shape", None)
+    return tuple(shape) if shape is not None else None
+
+
+class InferenceServer:
+    """Serve one or more inference sessions behind dynamic batching.
+
+    Parameters
+    ----------
+    registry:
+        An existing :class:`SessionRegistry` to serve from; by default the
+        server owns a fresh one (populate it via :meth:`add_model`).
+    max_batch / max_wait_ms / max_queue / run_in_executor:
+        Default :class:`DynamicBatcher` tuning for every model; override
+        per model through ``add_model``.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SessionRegistry] = None,
+        *,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 256,
+        idle_flush_ms: Optional[float] = None,
+        run_in_executor: bool = True,
+    ):
+        self.registry = registry if registry is not None else SessionRegistry()
+        self._defaults = {
+            "max_batch": max_batch,
+            "max_wait_ms": max_wait_ms,
+            "max_queue": max_queue,
+            "idle_flush_ms": idle_flush_ms,
+            "run_in_executor": run_in_executor,
+        }
+        self._overrides: Dict[str, dict] = {}
+        self._batchers: Dict[str, DynamicBatcher] = {}
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def add_model(
+        self,
+        name: str,
+        model_or_session,
+        *,
+        replace: bool = False,
+        max_batch: Optional[int] = None,
+        max_wait_ms: Optional[float] = None,
+        max_queue: Optional[int] = None,
+        idle_flush_ms: Optional[float] = None,
+        **session_kwargs,
+    ):
+        """Register a model (compiled on the spot) or a ready session.
+
+        Batcher tuning arguments override the server-wide defaults for
+        this model only; remaining ``session_kwargs`` (``dtype``,
+        ``backend``, ...) go to ``export_session`` when a model is given.
+        Returns the registered session.
+        """
+        if self._closed:
+            raise ServerClosedError("server is stopped")
+        if replace and name in self._batchers:
+            # Guard before touching the registry: a half-applied swap would
+            # leave the live batcher serving a session the registry no
+            # longer reports.
+            raise RuntimeError("stop the server before replacing a live model")
+        session = self.registry.register(name, model_or_session, replace=replace, **session_kwargs)
+        overrides = {
+            key: value
+            for key, value in (
+                ("max_batch", max_batch),
+                ("max_wait_ms", max_wait_ms),
+                ("max_queue", max_queue),
+                ("idle_flush_ms", idle_flush_ms),
+            )
+            if value is not None
+        }
+        self._overrides[name] = overrides
+        if self._started:
+            self._batchers[name] = self._make_batcher(name).start()
+        return session
+
+    def _make_batcher(self, name: str) -> DynamicBatcher:
+        session = self.registry.get(name)
+        options = {**self._defaults, **self._overrides.get(name, {})}
+        return DynamicBatcher(
+            session,
+            input_shape=_expected_input_shape(session),
+            name=name,
+            **options,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "InferenceServer":
+        """Spawn a batcher worker per registered model."""
+        if self._closed:
+            raise ServerClosedError("server is stopped")
+        if not self._started:
+            self._started = True
+            for name in self.registry.names():
+                if name not in self._batchers:
+                    self._batchers[name] = self._make_batcher(name).start()
+        return self
+
+    async def stop(self) -> None:
+        """Drain every batcher and refuse further requests."""
+        if self._closed:
+            return
+        self._closed = True
+        self._started = False
+        batchers = list(self._batchers.values())
+        self._batchers.clear()
+        await asyncio.gather(*(batcher.stop() for batcher in batchers))
+
+    async def __aenter__(self) -> "InferenceServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Request path
+    # ------------------------------------------------------------------ #
+    async def submit(self, name: str, payload) -> np.ndarray:
+        """Submit one request to model ``name``; returns its result row.
+
+        Classifier sessions resolve to a ``(num_classes,)`` logit vector,
+        segmentation sessions to an ``(N, N)`` intensity map.
+        """
+        if self._closed:
+            raise ServerClosedError("server is stopped")
+        try:
+            batcher = self._batchers[name]
+        except KeyError:
+            self.registry.get(name)  # raises UnknownModelError for unknown names
+            raise ServerClosedError("server is not started (use `async with server:` or await start())") from None
+        return await batcher.submit(payload)
+
+    async def submit_many(self, name: str, payloads) -> np.ndarray:
+        """Submit a burst of requests concurrently; returns stacked results."""
+        if self._closed:
+            raise ServerClosedError("server is stopped")
+        results = await asyncio.gather(*(self.submit(name, payload) for payload in payloads))
+        if results:
+            return np.stack(results, axis=0)
+        # Preserve the engine's empty-batch output shape ((0, C) / (0, N, N))
+        # when the session can tell us what an empty request batch looks like.
+        session = self.registry.get(name)
+        shape = getattr(session, "input_shape", None)
+        if shape is not None:
+            return session.run(np.empty((0, *shape)))
+        return np.empty((0,))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, BatcherStats]:
+        """Live per-model batching counters."""
+        return {name: batcher.stats() for name, batcher in self._batchers.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else ("started" if self._started else "idle")
+        return f"InferenceServer(models={sorted(self.registry.names())}, state={state!r})"

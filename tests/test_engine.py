@@ -6,9 +6,15 @@ import numpy as np
 import pytest
 
 from repro import DONN, MultiChannelDONN, SegmentationDONN
-from repro.autograd import no_grad
+from repro.autograd import Module, no_grad
 from repro.codesign import slm_profile
-from repro.engine import InferenceSession, available_backends, compile_model, get_fft_backend
+from repro.engine import (
+    COMPLEX64_LOGIT_ATOL,
+    InferenceSession,
+    available_backends,
+    compile_model,
+    get_fft_backend,
+)
 from repro.engine import backends as engine_backends
 from repro.train import evaluate_classifier
 from repro.train.loop import evaluate_with_detector_noise
@@ -90,6 +96,101 @@ class TestParity:
         assert not model.training
 
 
+class TestNonlinearCompilation:
+    """Models with NonlinearLayer elements must compile and keep parity."""
+
+    @pytest.mark.parametrize("nonlinearity", ["saturable", "kerr"])
+    def test_donn_nonlinear_parity(self, small_config, images, nonlinearity):
+        model = DONN(small_config, nonlinearity=nonlinearity)
+        session = model.export_session()
+        np.testing.assert_allclose(session.run(images), graph_eval(model, images), atol=PARITY_ATOL)
+
+    def test_codesign_nonlinear_parity(self, small_config, images):
+        model = DONN(small_config, device_profile=slm_profile(num_levels=16), nonlinearity="kerr")
+        session = model.export_session()
+        np.testing.assert_allclose(session.run(images), graph_eval(model, images), atol=PARITY_ATOL)
+
+    def test_multichannel_nonlinear_parity(self, small_config, rng):
+        model = MultiChannelDONN(small_config, nonlinearity="saturable")
+        rgb = rng.uniform(0.0, 1.0, size=(5, 3, 32, 32))
+        session = model.export_session()
+        np.testing.assert_allclose(session.run(rgb), graph_eval(model, rgb), atol=PARITY_ATOL)
+
+    @pytest.mark.parametrize("use_skip", [True, False])
+    def test_segmentation_nonlinear_parity(self, small_config, images, use_skip):
+        model = SegmentationDONN(small_config.with_updates(num_layers=4), use_skip=use_skip, nonlinearity="kerr")
+        session = model.export_session()
+        np.testing.assert_allclose(session.run(images), graph_eval(model, images), atol=PARITY_ATOL)
+
+    def test_unsupported_nonlinearity_rejected_at_compile(self, small_config):
+        class Opaque(Module):
+            def forward(self, field):
+                return field
+
+        model = DONN(small_config)
+        model.nonlinearity = Opaque()  # bypasses make_nonlinearity validation
+        with pytest.raises(TypeError, match="apply_numpy"):
+            model.export_session()
+
+
+class TestReducedPrecision:
+    """dtype="complex64": half the memory, documented accuracy budget."""
+
+    def test_donn_within_budget(self, small_config, images):
+        model = DONN(small_config)
+        full = model.export_session().run(images)
+        half = model.export_session(dtype="complex64").run(images)
+        assert half.dtype == np.float32
+        np.testing.assert_allclose(half, full, atol=COMPLEX64_LOGIT_ATOL)
+
+    def test_multichannel_within_budget(self, small_config, rng):
+        model = MultiChannelDONN(small_config)
+        rgb = rng.uniform(0.0, 1.0, size=(4, 3, 32, 32))
+        full = model.export_session().run(rgb)
+        half = model.export_session(dtype="complex64").run(rgb)
+        np.testing.assert_allclose(half, full, atol=COMPLEX64_LOGIT_ATOL)
+
+    def test_segmentation_within_budget(self, small_config, images):
+        model = SegmentationDONN(small_config.with_updates(num_layers=3))
+        full = model.export_session().run(images)
+        half = model.export_session(dtype="complex64").run(images)
+        np.testing.assert_allclose(half, full, atol=COMPLEX64_LOGIT_ATOL)
+
+    def test_nonlinear_complex64_stays_complex64(self, small_config, images):
+        """Nonlinearities must not silently promote back to complex128."""
+        model = DONN(small_config, nonlinearity="kerr")
+        session = model.export_session(dtype="complex64")
+        pattern = session.intensity_patterns(images)
+        assert pattern.dtype == np.float32
+        np.testing.assert_allclose(
+            session.run(images), model.export_session().run(images), atol=COMPLEX64_LOGIT_ATOL
+        )
+
+    @pytest.mark.parametrize("backend", ["numpy", "scipy"])
+    def test_backends_preserve_complex64(self, backend):
+        if backend == "scipy" and "scipy" not in available_backends():
+            pytest.skip("scipy not installed")
+        fft = get_fft_backend(backend)
+        field = np.ones((2, 8, 8), dtype=np.complex64)
+        assert fft.fft2(field).dtype == np.complex64
+        assert fft.ifft2(field).dtype == np.complex64
+        field128 = np.ones((2, 8, 8), dtype=np.complex128)
+        assert fft.fft2(field128).dtype == np.complex128
+
+    def test_dtype_accepts_aliases_and_rejects_garbage(self, small_config):
+        model = DONN(small_config)
+        assert InferenceSession(model, dtype=np.complex64).dtype == np.complex64
+        assert InferenceSession(model, dtype="complex128").dtype == np.complex128
+        with pytest.raises(ValueError, match="complex64 or complex128"):
+            InferenceSession(model, dtype="float32")
+
+    def test_predictions_usually_match_full_precision(self, small_config, images):
+        model = DONN(small_config)
+        full = model.export_session().predict(images)
+        half = model.export_session(dtype="complex64").predict(images)
+        np.testing.assert_array_equal(half, full)
+
+
 class TestStreaming:
     def test_chunked_streaming_equivalence(self, small_config, images):
         """batch_size 1 and 64 must give the same outputs."""
@@ -117,6 +218,57 @@ class TestStreaming:
     def test_empty_batch_yields_empty_logits(self, small_config):
         session = DONN(small_config).export_session()
         assert session.run(np.zeros((0, 32, 32))).shape == (0, 10)
+
+    def test_chunk_larger_than_batch_runs_one_pass_without_scratch_copy(self, small_config, images):
+        """chunk_size > len(batch) must mean a single program call whose
+        output is returned as-is (no scratch buffer, no concatenate copy)."""
+        session = DONN(small_config).export_session()
+        program = session._program
+        calls = []
+        original = program.run
+
+        def counting_run(batch):
+            calls.append(len(batch))
+            return original(batch)
+
+        program.run = counting_run
+        out = session.run(images, batch_size=len(images) + 100)
+        assert calls == [len(images)]
+        np.testing.assert_allclose(out, original(np.asarray(images, dtype=float)), atol=1e-12)
+
+        sentinel = np.zeros((len(images), 10))
+        program.run = lambda batch: sentinel
+        assert session.run(images, batch_size=10_000) is sentinel
+
+    def test_batch_of_one_streams_without_scratch_copy(self, small_config, images):
+        """A (1, H, W) batch is one direct program call at any chunk size."""
+        session = DONN(small_config).export_session()
+        single = images[:1]
+        reference = graph_eval(DONN(small_config), single)
+        for chunk in (1, 4, 64):
+            program = session._program
+            calls = []
+            original = program.run
+
+            def counting_run(batch, _calls=calls, _original=original):
+                _calls.append(len(batch))
+                return _original(batch)
+
+            program.run = counting_run
+            out = session.run(single, batch_size=chunk)
+            program.run = original
+            assert calls == [1]
+            assert out.shape == (1, 10)
+            np.testing.assert_allclose(out, reference, atol=PARITY_ATOL)
+
+    def test_multi_chunk_streaming_preallocates_correctly(self, small_config, images):
+        """Uneven chunking (7 images, chunks of 3) fills the output exactly."""
+        session = DONN(small_config).export_session()
+        seven = images[:7]
+        chunked = session.run(seven, batch_size=3)
+        whole = session.run(seven, batch_size=64)
+        assert chunked.shape == whole.shape == (7, 10)
+        np.testing.assert_allclose(chunked, whole, rtol=0.0, atol=1e-12)
 
     def test_invalid_batch_size_rejected(self, small_config):
         with pytest.raises(ValueError):

@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.autograd import Tensor, check_gradients
-from repro.layers.nonlinearity import KerrPhaseLayer, SaturableAbsorber
+from repro.layers.nonlinearity import (
+    KerrPhaseLayer,
+    NonlinearLayer,
+    SaturableAbsorber,
+    make_nonlinearity,
+)
 from repro.models import DONN, DONNConfig
 
 
@@ -82,3 +87,51 @@ class TestKerrPhaseLayer:
         field = Tensor(rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3)), requires_grad=True)
         target = rng.normal(size=(3, 3)) + 1j * rng.normal(size=(3, 3))
         assert check_gradients(lambda f: (layer(f) - Tensor(target)).abs2().sum(), [field], atol=1e-5)
+
+
+class TestNumpyEvalPath:
+    """apply_numpy (the engine compilation hook) must match forward exactly."""
+
+    @pytest.mark.parametrize(
+        "layer",
+        [SaturableAbsorber(saturation_intensity=0.7, linear_transmission=0.2), KerrPhaseLayer(0.8)],
+        ids=["saturable", "kerr"],
+    )
+    def test_apply_numpy_matches_forward(self, layer, rng):
+        field = rng.normal(size=(3, 5, 5)) + 1j * rng.normal(size=(3, 5, 5))
+        autograd_out = layer(Tensor(field)).data
+        np.testing.assert_allclose(layer.apply_numpy(field), autograd_out, atol=1e-12)
+
+    @pytest.mark.parametrize(
+        "layer", [SaturableAbsorber(), KerrPhaseLayer(0.5)], ids=["saturable", "kerr"]
+    )
+    def test_apply_numpy_preserves_complex64(self, layer, rng):
+        field = (rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4))).astype(np.complex64)
+        out = layer.apply_numpy(field)
+        assert out.dtype == np.complex64
+
+    def test_base_class_is_abstract(self, rng):
+        field = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+        with pytest.raises(NotImplementedError):
+            NonlinearLayer().apply_numpy(field)
+
+
+class TestMakeNonlinearity:
+    def test_resolves_names_and_instances(self):
+        assert isinstance(make_nonlinearity("saturable"), SaturableAbsorber)
+        assert isinstance(make_nonlinearity("kerr", nonlinear_coefficient=0.2), KerrPhaseLayer)
+        layer = KerrPhaseLayer(0.3)
+        assert make_nonlinearity(layer) is layer
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown nonlinearity"):
+            make_nonlinearity("relu")
+
+    def test_models_accept_nonlinearity_and_gradients_flow(self, rng):
+        config = DONNConfig(sys_size=16, pixel_size=36e-6, distance=0.05, num_layers=2, num_classes=4, det_size=2, seed=0)
+        model = DONN(config, nonlinearity="saturable")
+        assert isinstance(model.nonlinearity, SaturableAbsorber)
+        logits = model(rng.uniform(size=(2, 16, 16)))
+        logits.sum().backward()
+        grads = [layer.phase.grad for layer in model.diffractive_layers]
+        assert all(g is not None and np.any(g != 0) for g in grads)

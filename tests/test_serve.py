@@ -1,0 +1,374 @@
+"""Tests for the async dynamic-batching serving layer (``repro.serve``)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import DONN, MultiChannelDONN, SegmentationDONN
+from repro.engine import InferenceSession
+from repro.serve import (
+    DynamicBatcher,
+    InferenceServer,
+    ServerClosedError,
+    ServerOverloadedError,
+    SessionRegistry,
+    UnknownModelError,
+)
+
+
+class FakeSession:
+    """Session double: counts fused engine calls and echoes payloads * 2."""
+
+    def __init__(self, fail=False):
+        self.batch_sizes = []
+        self.fail = fail
+
+    def run(self, batch, batch_size=None):
+        batch = np.asarray(batch)
+        self.batch_sizes.append(len(batch))
+        if self.fail:
+            raise RuntimeError("engine exploded")
+        return batch * 2.0
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+class TestDynamicBatching:
+    def test_concurrent_requests_fuse_into_one_engine_call(self):
+        """Eight concurrent submits must produce exactly one fused call."""
+        fake = FakeSession()
+
+        async def scenario():
+            batcher = DynamicBatcher(fake, max_batch=16, max_wait_ms=100, run_in_executor=False)
+            batcher.start()
+            payloads = [np.full((4, 4), float(i)) for i in range(8)]
+            results = await asyncio.gather(*(batcher.submit(p) for p in payloads))
+            await batcher.stop()
+            return payloads, results
+
+        payloads, results = run_async(scenario())
+        assert fake.batch_sizes == [8], "coalescing must fuse all queued requests into one call"
+        for payload, result in zip(payloads, results):
+            np.testing.assert_array_equal(result, payload * 2.0)
+
+    def test_results_scatter_to_the_correct_callers(self):
+        fake = FakeSession()
+
+        async def scenario():
+            batcher = DynamicBatcher(fake, max_batch=4, max_wait_ms=50, run_in_executor=False)
+            batcher.start()
+            payloads = [np.full((2, 2), float(i)) for i in range(10)]
+            results = await asyncio.gather(*(batcher.submit(p) for p in payloads))
+            await batcher.stop()
+            return payloads, results
+
+        payloads, results = run_async(scenario())
+        # 10 requests at max_batch 4 -> at least three calls, none bigger than 4.
+        assert sum(fake.batch_sizes) == 10
+        assert max(fake.batch_sizes) <= 4
+        for payload, result in zip(payloads, results):
+            np.testing.assert_array_equal(result, payload * 2.0)
+
+    def test_max_wait_zero_fuses_only_already_queued_requests(self):
+        fake = FakeSession()
+
+        async def scenario():
+            batcher = DynamicBatcher(fake, max_batch=8, max_wait_ms=0, run_in_executor=False)
+            # Queue up before the worker exists, then start: one sweep, one call.
+            tasks = [asyncio.create_task(batcher.submit(np.full((2, 2), float(i)))) for i in range(5)]
+            await asyncio.sleep(0)
+            batcher.start()
+            results = await asyncio.gather(*tasks)
+            await batcher.stop()
+            return results
+
+        results = run_async(scenario())
+        assert fake.batch_sizes == [5]
+        assert len(results) == 5
+
+    def test_queue_overflow_raises_overload_instead_of_deadlocking(self):
+        fake = FakeSession()
+
+        async def scenario():
+            batcher = DynamicBatcher(fake, max_batch=4, max_wait_ms=0, max_queue=2, run_in_executor=False)
+            # Worker not started: the bounded queue fills, the third submit
+            # must fail fast -- not block forever.
+            pending = [asyncio.create_task(batcher.submit(np.ones((2, 2)) * i)) for i in range(2)]
+            await asyncio.sleep(0)
+            with pytest.raises(ServerOverloadedError):
+                await batcher.submit(np.ones((2, 2)))
+            # The queued work is intact: starting the worker drains it.
+            batcher.start()
+            results = await asyncio.gather(*pending)
+            await batcher.stop()
+            return results
+
+        results = run_async(scenario())
+        assert len(results) == 2
+        stats = fake.batch_sizes
+        assert sum(stats) == 2
+
+    def test_overload_counts_in_stats(self):
+        fake = FakeSession()
+
+        async def scenario():
+            batcher = DynamicBatcher(fake, max_queue=1, max_wait_ms=0, run_in_executor=False)
+            task = asyncio.create_task(batcher.submit(np.ones((2, 2))))
+            await asyncio.sleep(0)
+            with pytest.raises(ServerOverloadedError):
+                await batcher.submit(np.ones((2, 2)))
+            batcher.start()
+            await task
+            await batcher.stop()
+            return batcher.stats()
+
+        stats = run_async(scenario())
+        assert stats.submitted == 1
+        assert stats.completed == 1
+        assert stats.rejected == 1
+        assert stats.batches == 1
+        assert stats.mean_batch_size == 1.0
+
+    def test_engine_failure_propagates_to_all_callers_and_worker_survives(self):
+        fake = FakeSession(fail=True)
+
+        async def scenario():
+            batcher = DynamicBatcher(fake, max_batch=8, max_wait_ms=50, run_in_executor=False)
+            batcher.start()
+            results = await asyncio.gather(
+                *(batcher.submit(np.ones((2, 2))) for _ in range(3)), return_exceptions=True
+            )
+            assert all(isinstance(r, RuntimeError) for r in results)
+            # The worker must still be alive and serving after a bad batch.
+            fake.fail = False
+            good = await batcher.submit(np.ones((2, 2)))
+            await batcher.stop()
+            return good
+
+        good = run_async(scenario())
+        np.testing.assert_array_equal(good, np.ones((2, 2)) * 2.0)
+
+    def test_submit_after_stop_raises_closed(self):
+        fake = FakeSession()
+
+        async def scenario():
+            batcher = DynamicBatcher(fake, run_in_executor=False)
+            batcher.start()
+            await batcher.stop()
+            with pytest.raises(ServerClosedError):
+                await batcher.submit(np.ones((2, 2)))
+
+        run_async(scenario())
+
+    def test_input_shape_validation_fails_fast(self):
+        fake = FakeSession()
+
+        async def scenario():
+            batcher = DynamicBatcher(fake, input_shape=(4, 4), run_in_executor=False)
+            batcher.start()
+            with pytest.raises(ValueError, match="expects input shape"):
+                await batcher.submit(np.ones((3, 3)))
+            await batcher.stop()
+
+        run_async(scenario())
+
+    def test_invalid_configuration_rejected(self):
+        fake = FakeSession()
+        with pytest.raises(ValueError):
+            DynamicBatcher(fake, max_batch=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(fake, max_wait_ms=-1)
+        with pytest.raises(ValueError):
+            DynamicBatcher(fake, max_queue=0)
+        with pytest.raises(TypeError):
+            DynamicBatcher(object())
+
+
+class TestSessionRegistry:
+    def test_register_model_compiles_session(self, small_config):
+        registry = SessionRegistry()
+        session = registry.register("digits", DONN(small_config), dtype="complex64")
+        assert isinstance(session, InferenceSession)
+        assert session.dtype == np.complex64
+        assert registry.get("digits") is session
+        assert "digits" in registry and len(registry) == 1
+
+    def test_register_existing_session_as_is(self, small_config):
+        registry = SessionRegistry()
+        session = DONN(small_config).export_session()
+        assert registry.register("digits", session) is session
+
+    def test_duplicate_name_rejected_unless_replace(self, small_config):
+        registry = SessionRegistry()
+        registry.register("digits", DONN(small_config))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("digits", DONN(small_config))
+        registry.register("digits", DONN(small_config), replace=True)
+
+    def test_unknown_name_raises(self):
+        registry = SessionRegistry()
+        with pytest.raises(UnknownModelError):
+            registry.get("missing")
+        with pytest.raises(UnknownModelError):
+            registry.unregister("missing")
+
+    def test_session_kwargs_rejected_for_ready_sessions(self, small_config):
+        registry = SessionRegistry()
+        session = DONN(small_config).export_session()
+        with pytest.raises(ValueError, match="already a session"):
+            registry.register("digits", session, dtype="complex64")
+
+    def test_non_session_rejected(self):
+        registry = SessionRegistry()
+        with pytest.raises(TypeError):
+            registry.register("digits", object())
+
+
+class TestInferenceServer:
+    def test_multi_tenant_serving_matches_direct_engine_calls(self, small_config, rng):
+        """All three model families serve concurrently with correct routing."""
+        donn = DONN(small_config, nonlinearity="kerr")
+        multi = MultiChannelDONN(small_config)
+        seg = SegmentationDONN(small_config.with_updates(num_layers=3))
+        images = rng.uniform(0.0, 1.0, size=(6, 32, 32))
+        rgb = rng.uniform(0.0, 1.0, size=(6, 3, 32, 32))
+
+        async def scenario():
+            server = InferenceServer(max_batch=8, max_wait_ms=50)
+            server.add_model("digits", donn)
+            server.add_model("rgb", multi)
+            server.add_model("scenes", seg)
+            async with server:
+                digits_out, rgb_out, scenes_out = await asyncio.gather(
+                    server.submit_many("digits", images),
+                    server.submit_many("rgb", rgb),
+                    server.submit_many("scenes", images),
+                )
+            return digits_out, rgb_out, scenes_out, server
+
+        digits_out, rgb_out, scenes_out, server = run_async(scenario())
+        np.testing.assert_allclose(digits_out, donn.export_session().run(images), atol=1e-9)
+        np.testing.assert_allclose(rgb_out, multi.export_session().run(rgb), atol=1e-9)
+        np.testing.assert_allclose(scenes_out, seg.export_session().run(images), atol=1e-9)
+        stats = server.stats()
+        assert stats == {}, "stopped server exposes no live batchers"
+
+    def test_server_coalesces_and_reports_stats(self, small_config, rng):
+        model = DONN(small_config)
+        images = rng.uniform(0.0, 1.0, size=(12, 32, 32))
+
+        async def scenario():
+            server = InferenceServer(max_batch=16, max_wait_ms=100)
+            server.add_model("digits", model)
+            async with server:
+                await server.submit_many("digits", images)
+                stats = {name: s.as_dict() for name, s in server.stats().items()}
+            return stats
+
+        stats = run_async(scenario())
+        assert stats["digits"]["completed"] == 12
+        assert stats["digits"]["batches"] == 1, "a concurrent burst must fuse into one engine call"
+        assert stats["digits"]["largest_batch"] == 12
+
+    def test_unknown_model_raises(self, small_config):
+        async def scenario():
+            server = InferenceServer()
+            server.add_model("digits", DONN(small_config))
+            async with server:
+                with pytest.raises(UnknownModelError):
+                    await server.submit("nope", np.zeros((32, 32)))
+
+        run_async(scenario())
+
+    def test_submit_before_start_and_after_stop_raise(self, small_config):
+        async def scenario():
+            server = InferenceServer()
+            server.add_model("digits", DONN(small_config))
+            with pytest.raises(ServerClosedError, match="not started"):
+                await server.submit("digits", np.zeros((32, 32)))
+            await server.start()
+            await server.stop()
+            with pytest.raises(ServerClosedError):
+                await server.submit("digits", np.zeros((32, 32)))
+            with pytest.raises(ServerClosedError):
+                await server.start()
+
+        run_async(scenario())
+
+    def test_add_model_while_running(self, small_config, rng):
+        images = rng.uniform(0.0, 1.0, size=(3, 32, 32))
+        model = DONN(small_config)
+
+        async def scenario():
+            server = InferenceServer(max_wait_ms=10)
+            async with server:
+                server.add_model("late", model)
+                return await server.submit_many("late", images)
+
+        out = run_async(scenario())
+        np.testing.assert_allclose(out, model.export_session().run(images), atol=1e-9)
+
+    def test_complex64_model_served_within_budget(self, small_config, rng):
+        from repro.engine import COMPLEX64_LOGIT_ATOL
+
+        model = DONN(small_config)
+        images = rng.uniform(0.0, 1.0, size=(4, 32, 32))
+
+        async def scenario():
+            server = InferenceServer(max_wait_ms=10)
+            server.add_model("digits64", model, dtype="complex64")
+            async with server:
+                return await server.submit_many("digits64", images)
+
+        out = run_async(scenario())
+        np.testing.assert_allclose(out, model.export_session().run(images), atol=COMPLEX64_LOGIT_ATOL)
+
+    def test_replace_on_live_model_rejected_without_touching_registry(self, small_config, rng):
+        """A refused live swap must leave both registry and batcher serving
+        the original session."""
+        old = DONN(small_config)
+        new = DONN(small_config.with_updates(seed=99))
+        image = rng.uniform(0.0, 1.0, size=(32, 32))
+
+        async def scenario():
+            server = InferenceServer(max_wait_ms=10)
+            original_session = server.add_model("digits", old)
+            async with server:
+                with pytest.raises(RuntimeError, match="stop the server"):
+                    server.add_model("digits", new, replace=True)
+                assert server.registry.get("digits") is original_session
+                served = await server.submit("digits", image)
+            return served, original_session
+
+        served, original_session = run_async(scenario())
+        np.testing.assert_allclose(served, original_session.run(image), atol=1e-12)
+
+    def test_submit_many_empty_burst_keeps_engine_output_shape(self, small_config):
+        async def scenario():
+            server = InferenceServer()
+            server.add_model("digits", DONN(small_config))
+            server.add_model("scenes", SegmentationDONN(small_config.with_updates(num_layers=3)))
+            async with server:
+                return (
+                    await server.submit_many("digits", []),
+                    await server.submit_many("scenes", []),
+                )
+
+        digits_out, scenes_out = run_async(scenario())
+        assert digits_out.shape == (0, 10)
+        assert scenes_out.shape == (0, 32, 32)
+
+    def test_shape_validation_is_wired_from_the_session(self, small_config):
+        async def scenario():
+            server = InferenceServer()
+            server.add_model("digits", DONN(small_config))
+            async with server:
+                with pytest.raises(ValueError, match="expects input shape"):
+                    await server.submit("digits", np.zeros((16, 16)))
+
+        run_async(scenario())
