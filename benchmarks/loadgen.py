@@ -1,0 +1,162 @@
+"""Open-loop Poisson load generation for the serving layer.
+
+The PR 3 serving benchmark runs *closed-loop* clients: each client waits
+for its answer before sending the next request.  Closed-loop load is
+self-clocking -- when the server slows down, the clients slow down with
+it -- so it systematically under-reports queueing delay and cannot
+represent "traffic arrives at 2000 requests/second whether you are ready
+or not".  That phenomenon (coordinated omission) is exactly what an SLO
+evaluation must not hide.
+
+This module drives **open-loop** load: request arrival times are drawn
+from a Poisson process at a target rate *in advance*, and every request
+is fired at its scheduled instant regardless of how many answers are
+still outstanding.  Latency is measured from the request's *scheduled*
+arrival time, not from when the generator got around to sending it, so
+generator lateness (event-loop jitter at sub-millisecond inter-arrivals)
+counts against the server's numbers, never in their favor.
+
+Outcomes are bucketed per request: completed, rejected on overload
+(:class:`~repro.serve.ServerOverloadedError`), shed on deadline
+(:class:`~repro.serve.DeadlineExceededError`), or other error.  A run is
+summarized by :class:`LoadResult`, whose ``sustains(slo_ms)`` predicate
+is the benchmark's gate: p99 of completed requests within the SLO *and*
+at least ``min_success`` of all issued requests answered.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, List, Sequence
+
+import numpy as np
+
+from repro.serve import DeadlineExceededError, ServerOverloadedError
+
+SubmitFn = Callable[[np.ndarray], Awaitable[np.ndarray]]
+
+
+@dataclass
+class LoadResult:
+    """Summary of one open-loop run at one target arrival rate."""
+
+    target_rate: float
+    duration_s: float
+    offered: int
+    completed: int
+    rejected: int = 0
+    deadline_missed: int = 0
+    errors: int = 0
+    #: Scheduled-arrival-to-completion latency of each *completed*
+    #: request, milliseconds.
+    latencies_ms: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    @property
+    def achieved_rate(self) -> float:
+        """Completed requests per second over the run."""
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def success_rate(self) -> float:
+        return self.completed / self.offered if self.offered else 0.0
+
+    def percentile(self, q: float) -> float:
+        if len(self.latencies_ms) == 0:
+            return float("nan")
+        return float(np.percentile(self.latencies_ms, q))
+
+    def sustains(self, slo_ms: float, min_success: float = 0.99) -> bool:
+        """Did the server hold the SLO at this arrival rate?
+
+        True when the p99 latency of completed requests stays within
+        ``slo_ms`` *and* at least ``min_success`` of issued requests were
+        answered -- a policy may not "hold" an SLO by shedding traffic
+        wholesale.
+        """
+        if self.completed == 0 or self.success_rate < min_success:
+            return False
+        return self.percentile(99) <= slo_ms
+
+    def row(self) -> dict:
+        """Flat JSON-friendly summary (for benchmark result files)."""
+        return {
+            "target_rate_rps": self.target_rate,
+            "achieved_rate_rps": self.achieved_rate,
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "deadline_missed": self.deadline_missed,
+            "errors": self.errors,
+            "success_rate": self.success_rate,
+            "p50_latency_ms": self.percentile(50),
+            "p95_latency_ms": self.percentile(95),
+            "p99_latency_ms": self.percentile(99),
+        }
+
+
+def poisson_schedule(rate_rps: float, num_requests: int, rng: np.random.Generator) -> np.ndarray:
+    """Cumulative arrival offsets (seconds) of a Poisson process.
+
+    Inter-arrival gaps are i.i.d. exponential with mean ``1 / rate_rps``;
+    the returned array is the running sum, starting at the first gap.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be > 0")
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    return np.cumsum(rng.exponential(1.0 / rate_rps, size=num_requests))
+
+
+async def run_open_loop(
+    submit: SubmitFn,
+    payloads: Sequence[np.ndarray],
+    rate_rps: float,
+    rng: np.random.Generator,
+) -> LoadResult:
+    """Fire ``payloads`` at Poisson arrival times; never wait for answers.
+
+    ``submit`` is the per-request coroutine factory (e.g. ``lambda image:
+    server.submit("model", image)``).  Requests are issued in scheduled
+    order; when the event loop falls behind the schedule (sub-millisecond
+    gaps), all overdue requests fire back-to-back -- the burst is part of
+    the offered load, and their latency clocks still started at the
+    scheduled instants.
+    """
+    offsets = poisson_schedule(rate_rps, len(payloads), rng)
+    loop = asyncio.get_running_loop()
+    outcomes: List[asyncio.Task] = []
+    start = loop.time()
+
+    async def one(payload: np.ndarray, scheduled: float):
+        try:
+            await submit(payload)
+        except ServerOverloadedError:
+            return "rejected", 0.0
+        except DeadlineExceededError:
+            return "deadline", 0.0
+        except Exception:
+            return "error", 0.0
+        return "ok", (loop.time() - scheduled) * 1000.0
+
+    for payload, offset in zip(payloads, offsets):
+        scheduled = start + offset
+        delay = scheduled - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        outcomes.append(loop.create_task(one(payload, scheduled)))
+
+    results = await asyncio.gather(*outcomes)
+    duration = loop.time() - start
+    latencies = np.asarray([ms for status, ms in results if status == "ok"])
+    counts = {status: sum(1 for s, _ in results if s == status) for status in ("ok", "rejected", "deadline", "error")}
+    return LoadResult(
+        target_rate=rate_rps,
+        duration_s=duration,
+        offered=len(payloads),
+        completed=counts["ok"],
+        rejected=counts["rejected"],
+        deadline_missed=counts["deadline"],
+        errors=counts["error"],
+        latencies_ms=latencies,
+    )

@@ -7,7 +7,8 @@ on one :class:`~repro.serve.InferenceServer`, then fires bursts of
 concurrent single-image requests at it.  The server coalesces each burst
 into a handful of fused engine calls (watch the ``mean_batch_size``
 stats) and scatters every answer back to its caller.  A final section
-shows the explicit overload error from the bounded queue.
+shows the explicit overload error from the bounded queue and a model
+served under a latency SLO (deadline-aware batching + shedding).
 
 Run with::
 
@@ -22,7 +23,12 @@ import time
 import numpy as np
 
 from repro import DONN, DONNConfig, MultiChannelDONN, SegmentationDONN
-from repro.serve import InferenceServer, ServerOverloadedError
+from repro.serve import (
+    DeadlineExceededError,
+    InferenceServer,
+    ServerOverloadedError,
+    SLOAwarePolicy,
+)
 
 SYS = 64
 
@@ -87,6 +93,29 @@ async def main() -> None:
         overloaded = sum(isinstance(a, ServerOverloadedError) for a in answers)
         served = sum(isinstance(a, np.ndarray) for a in answers)
         print(f"flooding a max_queue=4 model: {served} served, {overloaded} rejected with ServerOverloadedError")
+
+        # Latency-SLO serving: the policy stamps every request with a
+        # deadline, sizes batches from an online latency model so p99
+        # stays inside the budget, and sheds requests that already
+        # missed instead of computing answers nobody can use.
+        server.add_model("digits-slo", digits.export_session(), policy=SLOAwarePolicy(slo_ms=50.0))
+        burst = await asyncio.gather(
+            *(server.submit("digits-slo", image) for image in digit_images), return_exceptions=True
+        )
+        on_time = sum(isinstance(a, np.ndarray) for a in burst)
+        slo_stats = server.stats()["digits-slo"].as_dict()
+        print(
+            f"SLO model (50 ms budget): {on_time} served, "
+            f"{slo_stats['deadline_missed']} shed as DeadlineExceededError; "
+            f"p50/p99 latency {slo_stats['p50_latency_ms']:.1f}/{slo_stats['p99_latency_ms']:.1f} ms "
+            f"(queue {slo_stats['mean_queue_wait_ms']:.1f} ms + compute {slo_stats['mean_compute_ms']:.1f} ms)"
+        )
+
+        # An impossible per-request budget fails fast, loudly:
+        try:
+            await server.submit("digits-slo", digit_images[0], slo_ms=0.001)
+        except DeadlineExceededError as exc:
+            print(f"0.001 ms budget -> {type(exc).__name__}: {exc}")
 
 
 if __name__ == "__main__":

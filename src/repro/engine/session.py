@@ -294,6 +294,27 @@ class InferenceSession:
         ``"complex64"``: reduced-precision mode that halves cached-kernel
         and intermediate memory for memory-bound sizes, accurate to
         :data:`COMPLEX64_LOGIT_ATOL` on detector logits.
+
+    Raises
+    ------
+    ValueError
+        For ``batch_size < 1``, an unknown ``dtype``, or an unknown
+        ``backend`` name.
+    TypeError
+        When ``model`` is not one of the three compilable families, or a
+        configured nonlinearity does not expose ``apply_numpy``.
+    RuntimeError
+        From :meth:`predict` / :meth:`predict_mask` / :meth:`read_detector`
+        when called on the wrong session kind.
+
+    Thread-safety: a compiled session is **immutable between**
+    :meth:`refresh` calls -- ``run``/``predict`` only read the cached
+    kernel arrays, so concurrent calls from multiple threads are safe
+    (this is what lets ``repro.serve`` run engine calls in a thread-pool
+    executor).  :meth:`refresh` swaps the compiled program in a single
+    attribute assignment; in-flight calls finish on the snapshot they
+    started with.  The scipy FFT backend additionally parallelizes
+    *within* one call via ``workers``.
     """
 
     def __init__(
@@ -386,6 +407,9 @@ class InferenceSession:
 
         Returns per-class collected intensities ``(B, C)`` for classifiers
         or output intensity maps ``(B, N, N)`` for segmentation models.
+        A single unbatched sample (``(N, N)``, or ``(C, N, N)`` for
+        multi-channel models) is forwarded unbatched / as a batch of one,
+        mirroring the autograd models' semantics.
         """
         return self._batched(images, self._program.run, batch_size)
 

@@ -3,29 +3,48 @@
 The roadmap's "heavy traffic" scenario: put compiled
 :class:`~repro.engine.InferenceSession` programs behind an asyncio
 front-end that coalesces concurrent single-image requests into fused
-batched engine calls.
+batched engine calls, under a pluggable batching policy.
 
 Public surface:
 
 * :class:`InferenceServer` -- multi-tenant façade: register models by
-  name, ``async with server:``, ``await server.submit(name, image)``.
+  name, ``async with server:``, ``await server.submit(name, image)``;
+  ``stats()`` exposes per-model latency percentiles and counters.
 * :class:`DynamicBatcher` -- per-model request queue + coalescing worker
-  (``max_batch`` / ``max_wait_ms`` / bounded ``max_queue``).
+  (bounded ``max_queue``, policy-driven fusion and flushing).
+* :class:`BatchingPolicy` and the built-ins -- :class:`FixedWindowPolicy`
+  (static ``max_batch``/``max_wait_ms`` window), :class:`SLOAwarePolicy`
+  (per-request deadlines + EWMA latency model, sheds hopeless requests),
+  :class:`AdaptivePolicy` (AIMD batch sizing from queue depth);
+  :func:`make_policy` builds one by name.
+* :class:`BatcherStats` / :class:`PercentileWindow` -- sliding-window
+  telemetry (p50/p95/p99 latency, queue-wait vs compute breakdown).
 * :class:`SessionRegistry` -- name -> session catalogue.
 * :class:`ServeError` hierarchy -- explicit overload / closed / unknown
-  model errors.
+  model / deadline-exceeded errors.
 
-See ``examples/serving_demo.py`` and the README's Serving section for the
-workflow, and ``benchmarks/bench_serving_throughput.py`` for the
-batched-vs-sequential throughput numbers.
+See ``docs/serving.md`` for the policy tuning guide,
+``examples/serving_demo.py`` for the workflow, and
+``benchmarks/bench_slo_serving.py`` for the open-loop SLO comparison of
+the three policies.
 """
 
 from repro.serve.batcher import BatcherStats, DynamicBatcher
 from repro.serve.errors import (
+    DeadlineExceededError,
     ServeError,
     ServerClosedError,
     ServerOverloadedError,
     UnknownModelError,
+)
+from repro.serve.metrics import PercentileWindow
+from repro.serve.policy import (
+    AdaptivePolicy,
+    BatchingPolicy,
+    FixedWindowPolicy,
+    Request,
+    SLOAwarePolicy,
+    make_policy,
 )
 from repro.serve.registry import SessionRegistry
 from repro.serve.server import InferenceServer
@@ -34,9 +53,17 @@ __all__ = [
     "InferenceServer",
     "DynamicBatcher",
     "BatcherStats",
+    "PercentileWindow",
     "SessionRegistry",
+    "BatchingPolicy",
+    "FixedWindowPolicy",
+    "SLOAwarePolicy",
+    "AdaptivePolicy",
+    "Request",
+    "make_policy",
     "ServeError",
     "ServerOverloadedError",
     "ServerClosedError",
+    "DeadlineExceededError",
     "UnknownModelError",
 ]

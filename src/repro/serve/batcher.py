@@ -9,54 +9,36 @@ single-image requests* into exactly that shape of work:
 * requests enter a bounded queue (overflow raises
   :class:`~repro.serve.errors.ServerOverloadedError` immediately -- no
   silent buffering, no deadlock);
-* a worker task collects up to ``max_batch`` requests, waiting at most
-  ``max_wait_ms`` after the first one arrives -- and flushing early when
-  arrivals pause for ``idle_flush_ms`` (a full linger would tax every
-  batch with the worst-case wait even after a convoy has fully arrived);
+* a worker task collects requests into a batch, consulting a pluggable
+  :class:`~repro.serve.policy.BatchingPolicy` for every decision: the
+  fusion cap, how long to linger for more arrivals, and whether a queued
+  request's deadline has already expired (in which case it fails fast
+  with :class:`~repro.serve.errors.DeadlineExceededError` *before* any
+  engine time is spent on it);
 * the batch runs as **one** engine call (in a thread-pool executor by
   default, so the event loop keeps accepting requests while numpy works);
-* each result row is scattered back to its caller's future.
+* each result row is scattered back to its caller's future, and the
+  measured queue-wait / compute times feed both the telemetry windows
+  (:class:`~repro.serve.metrics.BatcherStats`) and the policy's
+  ``observe`` hook -- the feedback loop adaptive policies learn from.
 
-``max_wait_ms`` trades tail latency for fusion: 0 fuses only what is
-already queued, a few milliseconds lets closed-loop clients pile up.
+The mechanism lives here; the throughput/latency trade-off lives in the
+policy.  The default :class:`~repro.serve.policy.FixedWindowPolicy`
+preserves the classic ``max_batch`` / ``max_wait_ms`` window semantics.
 """
 
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.serve.errors import ServerClosedError, ServerOverloadedError
+from repro.serve.errors import DeadlineExceededError, ServerClosedError, ServerOverloadedError
+from repro.serve.metrics import BatcherStats
+from repro.serve.policy import BatchingPolicy, FixedWindowPolicy, Request
 
 _STOP = object()
-
-
-@dataclass
-class BatcherStats:
-    """Counters exposed by :meth:`DynamicBatcher.stats` (and the server)."""
-
-    submitted: int = 0
-    completed: int = 0
-    rejected: int = 0
-    batches: int = 0
-    largest_batch: int = 0
-
-    @property
-    def mean_batch_size(self) -> float:
-        return self.completed / self.batches if self.batches else 0.0
-
-    def as_dict(self) -> dict:
-        return {
-            "submitted": self.submitted,
-            "completed": self.completed,
-            "rejected": self.rejected,
-            "batches": self.batches,
-            "largest_batch": self.largest_batch,
-            "mean_batch_size": self.mean_batch_size,
-        }
 
 
 class DynamicBatcher:
@@ -69,17 +51,17 @@ class DynamicBatcher:
         result's leading axis indexes the batch -- an
         :class:`~repro.engine.InferenceSession` in production, a fake in
         tests.
-    max_batch:
-        Upper bound on requests fused into one engine call.
-    max_wait_ms:
-        Hard cap on how long the worker lingers after the first request
-        of a batch for more requests to coalesce.
-    idle_flush_ms:
-        Flush the forming batch once no new request has arrived for this
-        long (default: ``max_wait_ms / 4``).  Closed-loop convoys arrive
-        within microseconds of each other, so this keeps the fused batch
-        large while shedding almost the entire linger from the latency.
-        ``0`` flushes as soon as the queue empties.
+    policy:
+        A :class:`~repro.serve.policy.BatchingPolicy` owning every
+        batching decision.  Policies are stateful: give each batcher its
+        own instance.  When omitted, a
+        :class:`~repro.serve.policy.FixedWindowPolicy` is built from the
+        three legacy tuning knobs below.
+    max_batch / max_wait_ms / idle_flush_ms:
+        Tuning for the default fixed-window policy (upper bound on fused
+        requests; hard cap on the post-first-arrival linger; early flush
+        once arrivals pause -- see :class:`FixedWindowPolicy`).  Ignored
+        when an explicit ``policy`` is passed.
     max_queue:
         Bound on queued (not yet running) requests; beyond it
         :meth:`submit` raises :class:`ServerOverloadedError`.
@@ -93,12 +75,30 @@ class DynamicBatcher:
 
     Requests may be submitted before :meth:`start`; they queue up (within
     ``max_queue``) and run once the worker starts.
+
+    Raises
+    ------
+    ValueError / TypeError
+        At construction for invalid tuning or a session without ``run``.
+    ServerOverloadedError
+        From :meth:`submit` when the bounded queue is full.
+    ServerClosedError
+        From :meth:`submit` after :meth:`stop`.
+    DeadlineExceededError
+        To a submitted request's future when its deadline expires in the
+        queue (deadline-aware policies, or an explicit ``slo_ms``).
+
+    Thread/async-safety: one batcher belongs to one event loop.  All
+    public coroutines must be awaited on that loop; the only work that
+    leaves the loop is the engine call itself (executor thread).  Stats
+    objects are mutated solely by the worker task.
     """
 
     def __init__(
         self,
         session,
         *,
+        policy: Optional[BatchingPolicy] = None,
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
         max_queue: int = 256,
@@ -107,20 +107,20 @@ class DynamicBatcher:
         run_in_executor: bool = True,
         name: str = "",
     ):
-        if max_batch < 1:
-            raise ValueError("max_batch must be >= 1")
-        if max_wait_ms < 0:
-            raise ValueError("max_wait_ms must be >= 0")
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
-        if idle_flush_ms is not None and idle_flush_ms < 0:
-            raise ValueError("idle_flush_ms must be >= 0")
         if not callable(getattr(session, "run", None)):
             raise TypeError(f"session must expose run(batch, batch_size=...); got {type(session).__name__}")
+        if policy is None:
+            # FixedWindowPolicy validates the legacy knobs and reproduces
+            # the pre-policy batcher behavior exactly.
+            policy = FixedWindowPolicy(
+                max_batch=max_batch, max_wait_ms=max_wait_ms, idle_flush_ms=idle_flush_ms
+            )
+        elif not isinstance(policy, BatchingPolicy):
+            raise TypeError(f"policy must be a BatchingPolicy, got {type(policy).__name__}")
         self.session = session
-        self.max_batch = int(max_batch)
-        self.max_wait = float(max_wait_ms) / 1000.0
-        self.idle_flush = (float(idle_flush_ms) / 1000.0) if idle_flush_ms is not None else self.max_wait / 4.0
+        self.policy = policy
         self.max_queue = int(max_queue)
         self.input_shape = tuple(input_shape) if input_shape is not None else None
         self.run_in_executor = bool(run_in_executor)
@@ -159,9 +159,11 @@ class DynamicBatcher:
         if self._worker is None:
             # Never started: fail any queued requests instead of stranding them.
             while not self._queue.empty():
-                _, future = self._queue.get_nowait()
-                if not future.done():
-                    future.set_exception(ServerClosedError(f"batcher {self.name!r} stopped before starting"))
+                request = self._queue.get_nowait()
+                if request is not _STOP and not request.future.done():
+                    request.future.set_exception(
+                        ServerClosedError(f"batcher {self.name!r} stopped before starting")
+                    )
             return
         await self._queue.put(_STOP)
         await self._worker
@@ -169,11 +171,17 @@ class DynamicBatcher:
     # ------------------------------------------------------------------ #
     # Request path
     # ------------------------------------------------------------------ #
-    async def submit(self, payload) -> np.ndarray:
+    async def submit(self, payload, *, slo_ms: Optional[float] = None) -> np.ndarray:
         """Submit one request; resolves to that request's result row.
 
-        Raises :class:`ServerOverloadedError` when the queue is full and
-        :class:`ServerClosedError` after :meth:`stop`.
+        ``slo_ms`` sets an explicit per-request latency budget; when
+        omitted, deadline-aware policies stamp their default
+        (``policy.assign_deadline``) and window policies leave the request
+        deadline-free.
+
+        Raises :class:`ServerOverloadedError` when the queue is full,
+        :class:`ServerClosedError` after :meth:`stop`, and resolves to
+        :class:`DeadlineExceededError` if the deadline expires in queue.
         """
         if self._closed:
             raise ServerClosedError(f"batcher {self.name!r} is closed")
@@ -182,51 +190,80 @@ class DynamicBatcher:
             raise ValueError(
                 f"{self.name!r} expects input shape {self.input_shape}, got {array.shape}"
             )
-        future = asyncio.get_running_loop().create_future()
+        loop = asyncio.get_running_loop()
+        arrival = loop.time()
+        if slo_ms is not None:
+            if slo_ms <= 0:
+                raise ValueError("slo_ms must be > 0")
+            deadline = arrival + slo_ms / 1000.0
+        else:
+            deadline = self.policy.assign_deadline(arrival)
+        future = loop.create_future()
         if self._queue.qsize() >= self.max_queue:
             self._stats.rejected += 1
             raise ServerOverloadedError(
                 f"batcher {self.name!r} is overloaded ({self.max_queue} requests pending)"
             )
-        self._queue.put_nowait((array, future))
+        self._queue.put_nowait(Request(payload=array, future=future, arrival=arrival, deadline=deadline))
         self._stats.submitted += 1
         return await future
 
     def stats(self) -> BatcherStats:
+        """Live telemetry: counters plus sliding-window latency percentiles."""
         return self._stats
 
     # ------------------------------------------------------------------ #
     # Worker
     # ------------------------------------------------------------------ #
+    def _shed_if_expired(self, request: Request, now: float) -> bool:
+        """Apply the policy's admission check; fail expired requests fast."""
+        if self.policy.admit(request, now):
+            return False
+        self._stats.deadline_missed += 1
+        if not request.future.done():
+            overdue_ms = (now - request.deadline) * 1000.0 if request.deadline is not None else 0.0
+            request.future.set_exception(
+                DeadlineExceededError(
+                    f"request to {self.name!r} missed its deadline by {overdue_ms:.1f} ms "
+                    "while queued (shed before admission)"
+                )
+            )
+        return True
+
     async def _worker_loop(self) -> None:
         loop = asyncio.get_running_loop()
         while True:
             item = await self._queue.get()
             if item is _STOP:
                 return
-            batch: List[Tuple[np.ndarray, asyncio.Future]] = [item]
+            now = loop.time()
+            if self._shed_if_expired(item, now):
+                continue
+            batch: List[Request] = [item]
             stopping = False
-            deadline = loop.time() + self.max_wait
-            while not stopping and len(batch) < self.max_batch:
+            # Both the fusion cap and the flush deadline are fixed once per
+            # batch, from the policy -- the loop below only asks it how
+            # long to linger.
+            limit = max(1, self.policy.batch_limit(now))
+            flush_at = self.policy.flush_deadline(item, now)
+            while not stopping and len(batch) < limit:
                 # Sweep everything already queued -- no timer machinery on
                 # this path, so convoys fuse at zero added latency.
                 try:
-                    while len(batch) < self.max_batch:
+                    while len(batch) < limit:
                         nxt = self._queue.get_nowait()
                         if nxt is _STOP:
                             stopping = True
                             break
-                        batch.append(nxt)
+                        if not self._shed_if_expired(nxt, loop.time()):
+                            batch.append(nxt)
                 except asyncio.QueueEmpty:
                     pass
-                if stopping or len(batch) >= self.max_batch:
+                if stopping or len(batch) >= limit:
                     break
-                # Queue drained: linger for the next arrival, bounded by
-                # the idle-flush gap and the overall deadline.
-                remaining = deadline - loop.time()
-                if remaining <= 0:
-                    break
-                timeout = min(remaining, self.idle_flush) if self.idle_flush > 0 else 0.0
+                # Queue drained: the policy decides whether (and how long)
+                # to hold the batch open for the next arrival.
+                timeout = self.policy.linger_timeout(batch, loop.time(), flush_at)
                 if timeout <= 0:
                     break
                 try:
@@ -235,19 +272,21 @@ class DynamicBatcher:
                     break  # arrivals paused; flush what we have
                 if nxt is _STOP:
                     stopping = True
+                elif self._shed_if_expired(nxt, loop.time()):
+                    continue
                 else:
                     batch.append(nxt)
-            await self._execute(batch)
+            if batch:
+                await self._execute(batch)
             if stopping:
                 return
 
-    async def _execute(self, batch: List[Tuple[np.ndarray, Any]]) -> None:
-        payloads = [payload for payload, _ in batch]
-        futures = [future for _, future in batch]
+    async def _execute(self, batch: List[Request]) -> None:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
         try:
-            stacked = np.stack(payloads, axis=0)
+            stacked = np.stack([request.payload for request in batch], axis=0)
             if self.run_in_executor:
-                loop = asyncio.get_running_loop()
                 results = await loop.run_in_executor(None, self._fused_call, stacked)
             else:
                 results = self._fused_call(stacked)
@@ -257,16 +296,22 @@ class DynamicBatcher:
                     f"engine returned {len(results)} rows for a batch of {len(batch)}"
                 )
         except Exception as exc:
-            for future in futures:
-                if not future.done():
-                    future.set_exception(exc)
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(exc)
             return
-        self._stats.batches += 1
-        self._stats.completed += len(batch)
-        self._stats.largest_batch = max(self._stats.largest_batch, len(batch))
-        for future, row in zip(futures, results):
-            if not future.done():
-                future.set_result(row)
+        finished = loop.time()
+        compute_s = finished - started
+        self._stats.record_batch(len(batch), compute_s)
+        for request, row in zip(batch, results):
+            self._stats.record_request(started - request.arrival, finished - request.arrival)
+            if not request.future.done():
+                request.future.set_result(row)
+        # Close the feedback loop: adaptive policies learn from measured
+        # compute time and the backlog left behind.
+        self.policy.observe(
+            batch_size=len(batch), compute_s=compute_s, queue_depth=self._queue.qsize()
+        )
 
     def _fused_call(self, stacked: np.ndarray) -> np.ndarray:
         """One engine call over the whole coalesced batch."""

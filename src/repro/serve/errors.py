@@ -20,6 +20,18 @@ class ServerClosedError(ServeError):
     """The server/batcher has been stopped and accepts no new requests."""
 
 
+class DeadlineExceededError(ServeError):
+    """The request's latency deadline expired before it reached the engine.
+
+    Raised to the *caller's* future by deadline-aware policies (see
+    :class:`~repro.serve.SLOAwarePolicy`) when a queued request can no
+    longer be answered within its SLO: shedding it ahead of admission
+    keeps the batch -- and every request behind it -- inside the budget
+    instead of computing an answer nobody can use.  Counted under
+    ``stats().deadline_missed``.
+    """
+
+
 class UnknownModelError(ServeError, KeyError):
     """No session is registered under the requested model name."""
 

@@ -20,7 +20,26 @@ from repro.serve.errors import UnknownModelError
 
 
 class SessionRegistry:
-    """Name-keyed catalogue of inference sessions for multi-tenant serving."""
+    """Name-keyed catalogue of inference sessions for multi-tenant serving.
+
+    Raises
+    ------
+    ValueError
+        From :meth:`register` for an empty/non-string name, a duplicate
+        name without ``replace=True``, or session options passed with an
+        already-compiled session.
+    TypeError
+        From :meth:`register` for objects that are neither session-like
+        (``run`` method) nor models (``export_session`` method).
+    UnknownModelError
+        From :meth:`get` / :meth:`unregister` for unregistered names.
+
+    Thread-safety: the registry is a plain dict with no locking.
+    :class:`~repro.serve.InferenceServer` mutates it only from the event
+    loop (``add_model``), which is the supported pattern; registering
+    concurrently from multiple threads is not.  Lookups (:meth:`get`,
+    ``in``, ``names``) are safe from any thread.
+    """
 
     def __init__(self) -> None:
         self._sessions: Dict[str, object] = {}

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.serve.batcher import BatcherStats, DynamicBatcher
 from repro.serve.errors import ServerClosedError
+from repro.serve.policy import BatchingPolicy
 from repro.serve.registry import SessionRegistry
 
 
@@ -32,6 +33,27 @@ def _expected_input_shape(session) -> Optional[Sequence[int]]:
     """Per-request payload shape for shape validation, when the session knows it."""
     shape = getattr(session, "input_shape", None)
     return tuple(shape) if shape is not None else None
+
+
+def _resolve_policy(spec) -> Optional[BatchingPolicy]:
+    """A policy spec is ``None``, a ready instance, or a zero-arg factory.
+
+    Policies are stateful (EWMA latency model, AIMD target), so each
+    batcher needs its *own* instance: server-wide defaults must therefore
+    be factories, e.g. ``policy=lambda: SLOAwarePolicy(slo_ms=50)``.
+    """
+    if spec is None or isinstance(spec, BatchingPolicy):
+        return spec
+    if callable(spec):
+        policy = spec()
+        if not isinstance(policy, BatchingPolicy):
+            raise TypeError(
+                f"policy factory returned {type(policy).__name__}, expected a BatchingPolicy"
+            )
+        return policy
+    raise TypeError(
+        f"policy must be a BatchingPolicy instance or a zero-arg factory, got {type(spec).__name__}"
+    )
 
 
 class InferenceServer:
@@ -42,15 +64,28 @@ class InferenceServer:
     registry:
         An existing :class:`SessionRegistry` to serve from; by default the
         server owns a fresh one (populate it via :meth:`add_model`).
+    policy:
+        Default batching policy for every model: a zero-arg factory (each
+        model gets a fresh instance) or, for a single-model server, a
+        ready :class:`~repro.serve.policy.BatchingPolicy`.  ``None``
+        falls back to the fixed-window knobs below.
     max_batch / max_wait_ms / max_queue / run_in_executor:
         Default :class:`DynamicBatcher` tuning for every model; override
-        per model through ``add_model``.
+        per model through ``add_model``.  The window knobs only apply to
+        models without an explicit policy.
+
+    Thread/async-safety: the server is bound to the event loop that runs
+    :meth:`start`; all coroutines must be awaited on that loop.
+    Registration (:meth:`add_model`) is not safe concurrently with
+    traffic to the *same* model name, but adding new names while other
+    models serve is fine (each model has an independent batcher).
     """
 
     def __init__(
         self,
         registry: Optional[SessionRegistry] = None,
         *,
+        policy=None,
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
         max_queue: int = 256,
@@ -58,6 +93,11 @@ class InferenceServer:
         run_in_executor: bool = True,
     ):
         self.registry = registry if registry is not None else SessionRegistry()
+        self._default_policy = policy
+        if policy is not None and not (isinstance(policy, BatchingPolicy) or callable(policy)):
+            raise TypeError(
+                f"policy must be a BatchingPolicy instance or a zero-arg factory, got {type(policy).__name__}"
+            )
         self._defaults = {
             "max_batch": max_batch,
             "max_wait_ms": max_wait_ms,
@@ -66,6 +106,10 @@ class InferenceServer:
             "run_in_executor": run_in_executor,
         }
         self._overrides: Dict[str, dict] = {}
+        self._policies: Dict[str, object] = {}
+        # id(policy instance) -> model name, to refuse silently sharing
+        # one stateful policy object across batchers.
+        self._policy_owners: Dict[int, str] = {}
         self._batchers: Dict[str, DynamicBatcher] = {}
         self._started = False
         self._closed = False
@@ -79,6 +123,7 @@ class InferenceServer:
         model_or_session,
         *,
         replace: bool = False,
+        policy=None,
         max_batch: Optional[int] = None,
         max_wait_ms: Optional[float] = None,
         max_queue: Optional[int] = None,
@@ -87,10 +132,17 @@ class InferenceServer:
     ):
         """Register a model (compiled on the spot) or a ready session.
 
-        Batcher tuning arguments override the server-wide defaults for
-        this model only; remaining ``session_kwargs`` (``dtype``,
-        ``backend``, ...) go to ``export_session`` when a model is given.
-        Returns the registered session.
+        ``policy`` (an instance or zero-arg factory) and the batcher
+        tuning arguments override the server-wide defaults for this model
+        only; remaining ``session_kwargs`` (``dtype``, ``backend``, ...)
+        go to ``export_session`` when a model is given.  Returns the
+        registered session.
+
+        Raises :class:`ServerClosedError` after :meth:`stop`,
+        ``ValueError`` for duplicate names without ``replace=True``, and
+        ``RuntimeError`` when asked to replace a model that is live on a
+        started server (stop first -- a half-applied swap would desync
+        batcher and registry).
         """
         if self._closed:
             raise ServerClosedError("server is stopped")
@@ -99,6 +151,20 @@ class InferenceServer:
             # leave the live batcher serving a session the registry no
             # longer reports.
             raise RuntimeError("stop the server before replacing a live model")
+        spec = policy if policy is not None else self._default_policy
+        if isinstance(spec, BatchingPolicy):
+            # Policies are stateful (EWMA latency model, AIMD target): one
+            # instance feeding two batchers would average unrelated models'
+            # behavior.  An instance may serve exactly one model;
+            # server-wide defaults must be factories.  Checked before the
+            # registry mutates so a refused add leaves no trace.
+            owner = self._policy_owners.setdefault(id(spec), name)
+            if owner != name:
+                raise TypeError(
+                    f"policy instance passed for {name!r} is already serving {owner!r}; "
+                    "policies are stateful -- pass a factory (e.g. lambda: SLOAwarePolicy(...)) "
+                    "or a fresh instance per model"
+                )
         session = self.registry.register(name, model_or_session, replace=replace, **session_kwargs)
         overrides = {
             key: value
@@ -111,6 +177,7 @@ class InferenceServer:
             if value is not None
         }
         self._overrides[name] = overrides
+        self._policies[name] = policy if policy is not None else self._default_policy
         if self._started:
             self._batchers[name] = self._make_batcher(name).start()
         return session
@@ -118,8 +185,14 @@ class InferenceServer:
     def _make_batcher(self, name: str) -> DynamicBatcher:
         session = self.registry.get(name)
         options = {**self._defaults, **self._overrides.get(name, {})}
+        policy = _resolve_policy(self._policies.get(name))
+        if policy is not None:
+            # The policy owns the window knobs; only queue/executor tuning
+            # still applies at the batcher level.
+            options = {key: options[key] for key in ("max_queue", "run_in_executor")}
         return DynamicBatcher(
             session,
+            policy=policy,
             input_shape=_expected_input_shape(session),
             name=name,
             **options,
@@ -158,11 +231,18 @@ class InferenceServer:
     # ------------------------------------------------------------------ #
     # Request path
     # ------------------------------------------------------------------ #
-    async def submit(self, name: str, payload) -> np.ndarray:
+    async def submit(self, name: str, payload, *, slo_ms: Optional[float] = None) -> np.ndarray:
         """Submit one request to model ``name``; returns its result row.
 
         Classifier sessions resolve to a ``(num_classes,)`` logit vector,
-        segmentation sessions to an ``(N, N)`` intensity map.
+        segmentation sessions to an ``(N, N)`` intensity map.  ``slo_ms``
+        attaches an explicit per-request latency budget (deadline-aware
+        policies stamp their default when omitted).
+
+        Raises :class:`UnknownModelError` for unregistered names,
+        :class:`ServerClosedError` before :meth:`start`/after
+        :meth:`stop`, :class:`ServerOverloadedError` on a full queue, and
+        :class:`DeadlineExceededError` when the budget expires in queue.
         """
         if self._closed:
             raise ServerClosedError("server is stopped")
@@ -171,7 +251,7 @@ class InferenceServer:
         except KeyError:
             self.registry.get(name)  # raises UnknownModelError for unknown names
             raise ServerClosedError("server is not started (use `async with server:` or await start())") from None
-        return await batcher.submit(payload)
+        return await batcher.submit(payload, slo_ms=slo_ms)
 
     async def submit_many(self, name: str, payloads) -> np.ndarray:
         """Submit a burst of requests concurrently; returns stacked results."""
@@ -192,7 +272,15 @@ class InferenceServer:
     # Introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, BatcherStats]:
-        """Live per-model batching counters."""
+        """Live per-model telemetry, keyed by model name.
+
+        Each :class:`~repro.serve.metrics.BatcherStats` carries fusion
+        counters (``batches``, ``mean_batch_size``), rejection counters
+        (``rejected`` for overload, ``deadline_missed`` for SLO sheds)
+        and sliding-window latency percentiles with a queue-wait vs
+        compute breakdown -- ``.as_dict()`` gives a flat JSON-friendly
+        snapshot for dashboards.
+        """
         return {name: batcher.stats() for name, batcher in self._batchers.items()}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,35 @@
+"""The docs stay honest: links resolve, tested examples run.
+
+Runs the same checks as the CI ``docs`` job (``tools/check_docs.py``) so
+a broken doc link or a stale fenced example fails the tier-1 suite
+locally, not just on GitHub.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_docs  # noqa: E402
+
+
+def test_docs_tree_exists():
+    for name in ("architecture.md", "serving.md", "benchmarks.md"):
+        assert (REPO_ROOT / "docs" / name).exists(), f"docs/{name} is missing"
+
+
+def test_internal_links_resolve():
+    assert check_docs.check_links() == []
+
+
+def test_fenced_doctest_examples_pass():
+    assert check_docs.check_doctests() == []
+
+
+def test_readme_links_the_docs_tree():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for target in ("docs/architecture.md", "docs/serving.md", "docs/benchmarks.md"):
+        assert target in readme, f"README does not link {target}"

@@ -10,11 +10,14 @@ import pytest
 from repro import DONN, MultiChannelDONN, SegmentationDONN
 from repro.engine import InferenceSession
 from repro.serve import (
+    DeadlineExceededError,
     DynamicBatcher,
+    FixedWindowPolicy,
     InferenceServer,
     ServerClosedError,
     ServerOverloadedError,
     SessionRegistry,
+    SLOAwarePolicy,
     UnknownModelError,
 )
 
@@ -362,6 +365,67 @@ class TestInferenceServer:
         digits_out, scenes_out = run_async(scenario())
         assert digits_out.shape == (0, 10)
         assert scenes_out.shape == (0, 32, 32)
+
+    def test_stats_expose_latency_percentiles_and_breakdown(self, small_config, rng):
+        """The telemetry satellite: server.stats() carries sliding-window
+        percentiles and the queue-wait vs compute breakdown."""
+        images = rng.uniform(0.0, 1.0, size=(8, 32, 32))
+
+        async def scenario():
+            server = InferenceServer(max_batch=16, max_wait_ms=50)
+            server.add_model("digits", DONN(small_config))
+            async with server:
+                await server.submit_many("digits", images)
+                return server.stats()["digits"].as_dict()
+
+        stats = run_async(scenario())
+        assert stats["completed"] == 8
+        assert stats["deadline_missed"] == 0
+        assert stats["p50_latency_ms"] > 0.0
+        assert stats["p50_latency_ms"] <= stats["p95_latency_ms"] <= stats["p99_latency_ms"]
+        # queue wait + compute must account for (almost all of) the latency.
+        assert stats["mean_queue_wait_ms"] + stats["mean_compute_ms"] >= 0.5 * stats["p50_latency_ms"]
+
+    def test_server_with_slo_policy_sheds_and_counts_expired_requests(self, small_config, rng):
+        """Deadline-missed requests fail with DeadlineExceededError, are
+        counted, and never poison later traffic."""
+        image = rng.uniform(0.0, 1.0, size=(32, 32))
+
+        async def scenario():
+            server = InferenceServer(policy=lambda: SLOAwarePolicy(slo_ms=30.0, max_batch=8))
+            server.add_model("digits", DONN(small_config))
+            async with server:
+                # An impossible per-request budget: expires while queued.
+                with pytest.raises(DeadlineExceededError):
+                    await server.submit("digits", image, slo_ms=0.0001)
+                served = await server.submit("digits", image, slo_ms=5000.0)
+                stats = server.stats()["digits"].as_dict()
+            return served, stats
+
+        served, stats = run_async(scenario())
+        assert served.shape == (10,)
+        assert stats["deadline_missed"] == 1
+        assert stats["completed"] == 1
+
+    def test_explicit_policy_instance_per_model(self, small_config, rng):
+        """add_model(policy=...) pins a policy to one model; window knobs
+        still govern policy-less models on the same server."""
+        images = rng.uniform(0.0, 1.0, size=(4, 32, 32))
+
+        async def scenario():
+            server = InferenceServer(max_batch=2, max_wait_ms=50)
+            server.add_model("windowed", DONN(small_config))
+            server.add_model("slo", DONN(small_config), policy=FixedWindowPolicy(max_batch=16, max_wait_ms=50))
+            async with server:
+                await asyncio.gather(
+                    server.submit_many("windowed", images),
+                    server.submit_many("slo", images),
+                )
+                return {name: s.as_dict() for name, s in server.stats().items()}
+
+        stats = run_async(scenario())
+        assert stats["windowed"]["largest_batch"] <= 2, "server-wide max_batch must bound the default policy"
+        assert stats["slo"]["batches"] == 1, "the per-model policy's larger window must fuse the whole burst"
 
     def test_shape_validation_is_wired_from_the_session(self, small_config):
         async def scenario():

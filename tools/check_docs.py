@@ -1,0 +1,127 @@
+"""Documentation checks: internal links resolve, fenced examples run.
+
+Two passes over ``README.md`` and every ``docs/*.md``:
+
+1. **Links.** Every relative markdown link (``[text](path)`` or
+   ``[text](path#anchor)``) must point at an existing file or directory,
+   and an anchor must match a heading in the target file (GitHub-style
+   slugs).  External links (``http(s)://``) are not fetched -- CI must
+   not flake on the network.
+2. **Doctests.** Fenced code blocks whose info string is ``python
+   doctest`` are extracted and executed with :mod:`doctest` (equivalent
+   to ``python -m doctest`` on a file holding the block).  Mark an
+   example testable only when it is self-contained and cheap; plain
+   ``python`` blocks are illustrative and stay unexecuted.
+
+Run from the repo root (CI job ``docs``)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit code 0 on success; failures are listed one per line.  Importable
+(``check_links`` / ``check_doctests``) so the test suite runs the same
+checks as CI (see ``tests/test_docs.py``).
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` -- excluding images and in-page ``#`` / external links.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+#: Fenced block opened with ```<info> ... closed with ```
+_FENCE = re.compile(r"^```([^\n`]*)\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def doc_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, punctuation out."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\s-]", "", slug, flags=re.UNICODE)
+    return re.sub(r"\s+", "-", slug)
+
+
+def _anchors(path: Path) -> set:
+    return {_github_slug(match) for match in _HEADING.findall(path.read_text(encoding="utf-8"))}
+
+
+def check_links(files: List[Path] = None) -> List[str]:
+    """Return a list of broken-link descriptions (empty = all good)."""
+    errors = []
+    for path in files or doc_files():
+        text = path.read_text(encoding="utf-8")
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, anchor = target.partition("#")
+            rel = path.parent / base if base else path
+            if not rel.exists():
+                errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+                continue
+            if anchor and rel.suffix == ".md" and _github_slug(anchor) not in _anchors(rel):
+                errors.append(f"{path.relative_to(REPO_ROOT)}: missing anchor -> {target}")
+    return errors
+
+
+def testable_blocks(files: List[Path] = None) -> List[Tuple[str, str]]:
+    """(label, source) for every fenced block marked ``python doctest``."""
+    blocks = []
+    for path in files or doc_files():
+        text = path.read_text(encoding="utf-8")
+        for index, match in enumerate(_FENCE.finditer(text)):
+            info = match.group(1).strip().lower().split()
+            if info[:2] == ["python", "doctest"]:
+                label = f"{path.relative_to(REPO_ROOT)}[block {index}]"
+                blocks.append((label, match.group(2)))
+    return blocks
+
+
+def check_doctests(files: List[Path] = None) -> List[str]:
+    """Run every testable block; return failure descriptions."""
+    errors = []
+    runner = doctest.DocTestRunner(verbose=False, optionflags=doctest.ELLIPSIS)
+    parser = doctest.DocTestParser()
+    blocks = testable_blocks(files)
+    if not blocks:
+        errors.append("no fenced examples marked `python doctest` found -- docs lost their tested examples")
+        return errors
+    for label, source in blocks:
+        test = parser.get_doctest(source, {}, label, label, 0)
+        result = runner.run(test, clear_globs=True)
+        if result.failed:
+            errors.append(f"{label}: {result.failed} of {result.attempted} doctest example(s) failed")
+    return errors
+
+
+def main() -> int:
+    # The docs' examples import repro.*; make `src` importable when the
+    # caller forgot PYTHONPATH.
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    files = doc_files()
+    errors = check_links(files) + check_doctests(files)
+    for error in errors:
+        print(f"FAIL: {error}")
+    print(
+        f"checked {len(files)} doc file(s), "
+        f"{len(testable_blocks(files))} testable example block(s): "
+        + ("FAILED" if errors else "ok")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
