@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
 from typing import Dict, Sequence
 
@@ -13,11 +14,30 @@ from repro.utils import format_table
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def save_results(name: str, rows: Sequence[Dict], notes: str = "") -> Path:
-    """Persist reproduced rows as JSON and return the path."""
+def cli_value(flag: str, default: str) -> str:
+    """Value of ``--flag N`` from argv (pytest-safe manual parsing).
+
+    The benchmarks double as pytest files, so they cannot own argparse;
+    unknown pytest flags are simply never matched.
+    """
+    if flag in sys.argv:
+        position = sys.argv.index(flag)
+        if position + 1 < len(sys.argv):
+            return sys.argv[position + 1]
+    return default
+
+
+def save_results(name: str, rows: Sequence[Dict], notes: str = "", metadata: Dict = None) -> Path:
+    """Persist reproduced rows as JSON and return the path.
+
+    ``metadata`` carries the reproducibility stamp (seed, host core
+    counts -- see ``loadgen.run_metadata``) serialized alongside the rows.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
     payload = {"experiment": name, "notes": notes, "rows": list(rows)}
+    if metadata:
+        payload["metadata"] = dict(metadata)
     path.write_text(json.dumps(payload, indent=2, default=float))
     return path
 

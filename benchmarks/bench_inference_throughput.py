@@ -25,10 +25,13 @@ import time
 import numpy as np
 
 from _bench_helpers import report, save_results
+from loadgen import run_metadata
 from repro import DONN, DONNConfig
 from repro.autograd import no_grad
 
 SIZES_AND_BATCHES = ((64, 32), (128, 16), (200, 8))
+#: Payload-content seed; recorded in the committed results JSON.
+SEED = int(os.environ.get("ENGINE_BENCH_SEED", "42"))
 NUM_LAYERS = 5
 ROUNDS = 3
 PARITY_ATOL = 1e-10
@@ -52,7 +55,7 @@ def _timed(fn) -> float:
 
 
 def _sweep():
-    rng = np.random.default_rng(42)
+    rng = np.random.default_rng(SEED)
     rows = []
     for sys_size, batch in SIZES_AND_BATCHES:
         config = DONNConfig(
@@ -113,7 +116,7 @@ def test_inference_throughput(benchmark):
         f"atol={PARITY_ATOL:g} before timing."
     )
     report("Inference throughput: graph mode vs engine mode", rows, notes)
-    save_results("inference_throughput", rows, notes)
+    save_results("inference_throughput", rows, notes, metadata=run_metadata(SEED))
 
     assert all(row["parity_max_abs_error"] <= PARITY_ATOL for row in rows)
     row64 = next(row for row in rows if row["sys_size"] == 64)

@@ -37,9 +37,12 @@ import time
 import numpy as np
 
 from _bench_helpers import report, save_results
+from loadgen import run_metadata
 from repro import DONN, DONNConfig
 from repro.serve import InferenceServer
 
+#: Payload-content seed; recorded in the committed results JSON.
+SEED = int(os.environ.get("SERVING_BENCH_SEED", "42"))
 SYS_SIZE = int(os.environ.get("SERVING_BENCH_SYS_SIZE", "64"))
 NUM_LAYERS = 5
 NUM_CLIENTS = int(os.environ.get("SERVING_BENCH_CLIENTS", "16"))
@@ -164,7 +167,7 @@ def _row(mode, outputs, latencies, elapsed, stats, reference, session):
 
 
 def _sweep():
-    rng = np.random.default_rng(42)
+    rng = np.random.default_rng(SEED)
     model, session = _build_session()
     requests = _make_requests(rng)
 
@@ -206,7 +209,7 @@ def test_serving_throughput(benchmark):
         f"results are asserted equal to direct engine output within {PARITY_ATOL:g}."
     )
     report("Serving throughput: sequential vs dynamic batching", rows, notes)
-    save_results("serving_throughput", rows, notes)
+    save_results("serving_throughput", rows, notes, metadata=run_metadata(SEED))
 
     batched = next(row for row in rows if row["mode"] == "dynamic_batching")
     assert batched["mean_batch_size"] > 1.0, "the load generator never coalesced anything"

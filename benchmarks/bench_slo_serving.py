@@ -46,12 +46,15 @@ import time
 
 import numpy as np
 
-from _bench_helpers import report, save_results
-from loadgen import LoadResult, run_open_loop
+from _bench_helpers import cli_value, report, save_results
+from loadgen import LoadResult, run_metadata, run_open_loop
 from repro import DONN, DONNConfig
 from repro.serve import AdaptivePolicy, FixedWindowPolicy, InferenceServer, SLOAwarePolicy
 
 SMOKE = bool(int(os.environ.get("SLO_BENCH_SMOKE", "0"))) or "--smoke" in sys.argv
+#: Seed for payload content and the Poisson arrival schedule -- recorded
+#: in the committed results JSON so a run can be reproduced exactly.
+SEED = int(os.environ.get("SLO_BENCH_SEED", cli_value("--seed", "42")))
 SYS_SIZE = int(os.environ.get("SLO_BENCH_SYS_SIZE", "32" if SMOKE else "64"))
 NUM_LAYERS = 5
 DTYPE = os.environ.get("SLO_BENCH_DTYPE", "complex128")
@@ -125,7 +128,7 @@ def _run_point(session, policy_factory, rate_rps: float, payloads) -> LoadResult
                 lambda image: server.submit("bench", image),
                 payloads,
                 rate_rps,
-                np.random.default_rng(1234),
+                np.random.default_rng(SEED + 1),
             )
 
     return asyncio.run(drive())
@@ -136,7 +139,7 @@ def _sweep():
 
     session = _build_session()
     capacity = _measure_capacity(session)
-    rng = np.random.default_rng(42)
+    rng = np.random.default_rng(SEED)
     payloads = rng.uniform(0.0, 1.0, size=(NUM_REQUESTS, SYS_SIZE, SYS_SIZE))
 
     rows = []
@@ -249,7 +252,9 @@ def _notes() -> str:
 def test_slo_serving(benchmark):
     rows, sustained, summary = benchmark.pedantic(_sweep, rounds=1, iterations=1)
     report("SLO serving: policies under open-loop Poisson load", rows, _notes())
-    save_results("slo_serving_smoke" if SMOKE else "slo_serving", rows, _notes())
+    save_results(
+        "slo_serving_smoke" if SMOKE else "slo_serving", rows, _notes(), metadata=run_metadata(SEED)
+    )
     _check(rows, sustained, summary)
 
 
@@ -257,7 +262,9 @@ if __name__ == "__main__":  # pragma: no cover - manual / CI smoke run
     rows, sustained, summary = _sweep()
     report("SLO serving: policies under open-loop Poisson load", rows, _notes())
     if "--no-save" not in sys.argv:
-        save_results("slo_serving_smoke" if SMOKE else "slo_serving", rows, _notes())
+        save_results(
+            "slo_serving_smoke" if SMOKE else "slo_serving", rows, _notes(), metadata=run_metadata(SEED)
+        )
     _check(rows, sustained, summary)
     print(f"max sustained rps: {sustained}")
     if "iso_p99_improvement" in summary:

@@ -27,6 +27,8 @@ at least ``min_success`` of all issued requests answered.
 from __future__ import annotations
 
 import asyncio
+import os
+import platform
 from dataclasses import dataclass, field
 from typing import Awaitable, Callable, List, Sequence
 
@@ -35,6 +37,30 @@ import numpy as np
 from repro.serve import DeadlineExceededError, ServerOverloadedError
 
 SubmitFn = Callable[[np.ndarray], Awaitable[np.ndarray]]
+
+
+def usable_cores() -> int:
+    """Scheduler-affinity core count -- on cgroup-limited containers the
+    number that actually bounds multi-process scaling."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1  # pragma: no cover - non-linux
+
+
+def run_metadata(seed: int) -> dict:
+    """Reproducibility stamp for committed benchmark results.
+
+    Every benchmark that draws a Poisson schedule records the seed it
+    derived its generators from plus the host's core counts -- arrival
+    jitter and multi-process scaling are both functions of those, so a
+    results JSON without them cannot be re-run faithfully.
+    """
+    return {
+        "seed": int(seed),
+        "host_cores": os.cpu_count() or 1,
+        "usable_cores": usable_cores(),
+        "python": platform.python_version(),
+    }
 
 
 @dataclass

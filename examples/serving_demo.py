@@ -118,5 +118,26 @@ async def main() -> None:
             print(f"0.001 ms budget -> {type(exc).__name__}: {exc}")
 
 
+async def sharded() -> None:
+    """Replica groups: the same model served by 2 worker processes.
+
+    Each fused batch is routed (here by power-of-two-choices) to one of
+    two spawned workers, which rebuilt their own compiled sessions from
+    the model's picklable SessionSpec; batch arrays travel over shared
+    memory.  See docs/sharding.md.
+    """
+    digits, _, _ = build_models()
+    server = InferenceServer(replicas=2, router="power_of_two_choices")
+    server.add_model("digits", digits)
+    rng = np.random.default_rng(7)
+    images = rng.uniform(size=(24, SYS, SYS))
+    async with server:  # start() spawns the workers; exit drains + stops them
+        rows = await server.submit_many("digits", list(images))
+        stats = server.stats()["digits"].as_dict()
+        spread = [f"#{r['replica']} pid={r['pid']}: {r['dispatched']} batches" for r in stats["replicas"]]
+        print(f"sharded digits: {len(rows)} answers from 2 worker processes ({'; '.join(spread)})")
+
+
 if __name__ == "__main__":
     asyncio.run(main())
+    asyncio.run(sharded())

@@ -1,0 +1,39 @@
+"""Error types of the replica-cluster layer.
+
+Cluster failures derive from :class:`~repro.serve.ServeError` so serving
+callers keep catching one base class whether a request died in the local
+batcher or in a worker process.
+"""
+
+from __future__ import annotations
+
+from repro.serve.errors import ServeError
+
+
+class ClusterError(ServeError):
+    """Base class for all ``repro.cluster`` errors."""
+
+
+class ReplicaCrashError(ClusterError):
+    """A worker process died (or its pipe broke) while serving a call.
+
+    The group restarts the worker in the background and retries the
+    batch on another replica; callers only see this error once the
+    bounded retry budget is exhausted.
+    """
+
+
+class ReplicaTimeoutError(ClusterError):
+    """A worker did not answer within the call timeout.
+
+    A wedged worker is treated like a dead one: it is restarted and the
+    call is retried elsewhere (within the retry budget).
+    """
+
+
+class NoReplicaAvailableError(ClusterError):
+    """No alive replica is eligible for dispatch (all dead or excluded)."""
+
+
+class WorkerStartupError(ClusterError):
+    """A spawned worker failed to build its session from the spec."""

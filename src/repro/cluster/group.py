@@ -1,0 +1,391 @@
+"""Replica groups: N worker processes behind one routed dispatch point.
+
+A :class:`ReplicaGroup` owns ``replicas`` worker processes all built from
+the same :class:`~repro.engine.SessionSpec`, routes each fused batch to
+one of them through a pluggable :class:`~repro.cluster.router.Router`,
+and keeps the fleet healthy: a worker that crashes or wedges mid-call is
+restarted in the background while the batch retries on another replica
+(bounded -- callers get :class:`~repro.cluster.ReplicaCrashError` rather
+than a hang when the budget runs out).
+
+The group is the *dispatch seam* the serving layer plugs into: a
+:class:`~repro.serve.DynamicBatcher` hands its coalesced batch to
+:meth:`infer` instead of calling the in-process session, which moves the
+FFT work out of the GIL-bound server process entirely.  The group also
+quacks enough like a session (``input_shape``, ``kind``, empty-batch
+``run``) for the server's validation and registry plumbing to treat it
+uniformly.
+
+Thread/async-safety: :meth:`infer`/:meth:`rescue` are coroutines bound
+to the caller's running loop; the blocking pipe work happens in the
+default thread-pool executor.  :meth:`infer_sync` is the same dispatch
+path for synchronous callers (tests, scripts).  Internal counters are
+guarded by a lock; one group may serve many concurrent callers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.errors import (
+    NoReplicaAvailableError,
+    ReplicaCrashError,
+    ReplicaTimeoutError,
+)
+from repro.cluster.replica import Replica
+from repro.cluster.router import ReplicaView, Router, make_router
+from repro.engine.spec import SessionSpec
+
+__all__ = ["ReplicaGroup"]
+
+
+class ReplicaGroup:
+    """N process-sharded replicas of one model behind a routing policy.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.engine.SessionSpec` every worker builds its
+        session from (``model.export_session(...).to_spec()`` or
+        ``SessionSpec.from_model(model, ...)``).
+    replicas:
+        Worker-process count.
+    router:
+        ``"round_robin"`` / ``"least_loaded"`` / ``"power_of_two_choices"``
+        or a ready :class:`~repro.cluster.Router` instance (routers hold
+        per-group state: one instance per group).
+    max_retries:
+        How many *other* replicas a batch may be retried on after a
+        crash/timeout before the error propagates to callers.
+    handicaps:
+        Optional ``{replica_index: seconds}`` of artificial per-call
+        sleep -- models asymmetric replica capacity in tests and
+        benchmarks (``bench_sharded_serving.py``).
+    call_timeout_s / start_timeout_s:
+        Per-call answer deadline (a silent worker counts as dead) and
+        worker startup handshake deadline.
+    start_method:
+        ``multiprocessing`` start method; ``spawn`` (default) is the one
+        supported everywhere and the only one safe under threads.
+
+    Raises
+    ------
+    ValueError
+        For ``replicas < 1``/``max_retries < 0`` or an unknown router.
+    WorkerStartupError
+        From :meth:`start` when a worker cannot build its session.
+    ReplicaCrashError / ReplicaTimeoutError
+        From :meth:`infer` once the retry budget is exhausted.
+    NoReplicaAvailableError
+        When every replica is dead (or, for :meth:`rescue`, busy).
+    """
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        replicas: int = 2,
+        router="round_robin",
+        *,
+        max_retries: int = 2,
+        handicaps: Optional[Dict[int, float]] = None,
+        call_timeout_s: float = 60.0,
+        start_timeout_s: float = 120.0,
+        start_method: str = "spawn",
+        name: str = "",
+    ):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.spec = spec
+        self.name = name or spec.model_type
+        self.max_retries = int(max_retries)
+        self._router: Router = make_router(router)
+        handicaps = handicaps or {}
+        self._replicas: List[Replica] = [
+            Replica(
+                spec,
+                index,
+                handicap_s=float(handicaps.get(index, 0.0)),
+                call_timeout_s=call_timeout_s,
+                start_timeout_s=start_timeout_s,
+                start_method=start_method,
+            )
+            for index in range(int(replicas))
+        ]
+        self._lock = threading.Lock()  # in-flight counters + restart flags
+        self._restarting: set = set()
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        return self._started and not self._closed
+
+    @property
+    def router_name(self) -> str:
+        return self._router.name
+
+    def start(self) -> "ReplicaGroup":
+        """Spawn all workers (concurrently) and wait for their handshakes."""
+        if self._closed:
+            raise RuntimeError(f"replica group {self.name!r} is closed")
+        if self._started:
+            return self
+        pending = [replica for replica in self._replicas if not replica.alive]
+        errors: List[BaseException] = []
+
+        def boot(replica: Replica) -> None:
+            try:
+                replica.start()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        # Session compilation dominates startup; overlap the workers'
+        # spawn+compile phases instead of paying them serially.
+        threads = [threading.Thread(target=boot, args=(replica,), daemon=True) for replica in pending]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            # Tear down whatever booted, but leave the group *open*: a
+            # transient startup failure (slow host missing a handshake
+            # deadline) must stay retryable, not brick the group.
+            for replica in self._replicas:
+                replica.close()
+            raise errors[0]
+        self._started = True
+        return self
+
+    def close(self) -> None:
+        """Stop every worker process; idempotent.
+
+        Waits out in-flight background revives first: a restart thread
+        that already claimed its slot may be mid-spawn, and tearing down
+        around it would orphan the worker it is about to create.  Close
+        runs after the revive finishes and reclaims whatever it spawned.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._started = False
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._restarting:
+                    break
+            time.sleep(0.02)
+        for replica in self._replicas:
+            replica.close()
+
+    def __enter__(self) -> "ReplicaGroup":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Session-like facade (what the serving layer's plumbing touches)
+    # ------------------------------------------------------------------ #
+    @property
+    def meta(self) -> Optional[dict]:
+        for replica in self._replicas:
+            if replica.meta is not None:
+                return replica.meta
+        return None
+
+    @property
+    def input_shape(self):
+        """Per-request payload shape (known once started)."""
+        meta = self.meta
+        return tuple(meta["input_shape"]) if meta is not None else None
+
+    @property
+    def kind(self) -> Optional[str]:
+        meta = self.meta
+        return meta["kind"] if meta is not None else None
+
+    def run(self, batch, batch_size: Optional[int] = None) -> np.ndarray:
+        """Empty-batch semantics only; real traffic goes through :meth:`infer`.
+
+        The server's ``submit_many([])`` path asks the registered session
+        for the shape of "no results"; answering that needs no worker
+        round-trip.  Any non-empty synchronous call is a programming
+        error here -- group dispatch is asynchronous.
+        """
+        batch = np.asarray(batch, dtype=float)
+        if len(batch) == 0:
+            meta = self.meta
+            if meta is None:
+                raise RuntimeError(f"replica group {self.name!r} is not started")
+            return np.empty((0, *meta["output_item_shape"]), dtype=np.dtype(meta["output_dtype"]))
+        raise RuntimeError(
+            "ReplicaGroup dispatches asynchronously: await group.infer(batch) "
+            "(or use infer_sync) instead of run()"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _views(self) -> List[ReplicaView]:
+        return [
+            ReplicaView(
+                index=replica.index,
+                alive=replica.alive and replica.index not in self._restarting,
+                in_flight=replica.in_flight,
+                ewma_latency_ms=replica.ewma_latency_s * 1000.0,
+            )
+            for replica in self._replicas
+        ]
+
+    def _schedule_restart(self, index: int) -> None:
+        """Restart a replica on a background thread (at most one at a time)."""
+        with self._lock:
+            if self._closed or index in self._restarting:
+                return
+            self._restarting.add(index)
+
+        def revive() -> None:
+            try:
+                if not self._closed:
+                    self._replicas[index].restart()
+            except BaseException as exc:  # noqa: BLE001 - recorded, retried by health checks
+                self._replicas[index].last_error = f"restart failed: {exc}"
+            finally:
+                with self._lock:
+                    self._restarting.discard(index)
+
+        threading.Thread(target=revive, name=f"repro-replica-restart-{index}", daemon=True).start()
+
+    def infer_sync(self, batch) -> np.ndarray:
+        """Route one fused batch to a replica; blocking.
+
+        Crash/timeout failures restart the replica in the background and
+        retry the batch on another one, up to ``max_retries`` times; the
+        last error propagates after that.  Worker-side *request* errors
+        (e.g. a malformed batch) are deterministic and propagate
+        immediately without retry.
+        """
+        if self._closed:
+            raise ReplicaCrashError(f"replica group {self.name!r} is closed")
+        batch = np.ascontiguousarray(np.asarray(batch, dtype=float))
+        tried: set = set()
+        last: Optional[Exception] = None
+        for _ in range(self.max_retries + 1):
+            with self._lock:
+                views = self._views()
+                try:
+                    index = self._router.select(views, exclude=tried)
+                except NoReplicaAvailableError as exc:
+                    raise last or exc from None
+                replica = self._replicas[index]
+                replica.in_flight += 1
+            # A replica that died *between* calls never fails a dispatch,
+            # so revive it opportunistically while traffic routes around it.
+            for view in views:
+                if not view.alive and view.index not in tried:
+                    self._schedule_restart(view.index)
+            try:
+                result, _ = replica.call(batch)
+                return result
+            except (ReplicaCrashError, ReplicaTimeoutError) as exc:
+                last = exc
+                tried.add(index)
+                self._schedule_restart(index)
+            finally:
+                with self._lock:
+                    replica.in_flight -= 1
+        raise last  # type: ignore[misc]  # loop ran >= 1 time
+
+    async def infer(self, batch) -> np.ndarray:
+        """Awaitable :meth:`infer_sync`: pipe work runs in the executor."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.infer_sync, batch)
+
+    def rescue_sync(self, payload) -> np.ndarray:
+        """One-shot single-request dispatch to an *idle* replica.
+
+        The hook behind :class:`~repro.serve.SLOAwarePolicy`'s shed path:
+        a request about to be shed gets one chance on a replica with no
+        work queued.  When every replica is busy the rescue refuses
+        (:class:`NoReplicaAvailableError`) -- stealing time on a loaded
+        replica would push *its* queue over the SLO too.
+        """
+        if self._closed:
+            raise ReplicaCrashError(f"replica group {self.name!r} is closed")
+        payload = np.ascontiguousarray(np.asarray(payload, dtype=float))
+        with self._lock:
+            idle = [view for view in self._views() if view.alive and view.in_flight == 0]
+            if not idle:
+                raise NoReplicaAvailableError("no idle replica to rescue the shed request")
+            replica = self._replicas[min(idle, key=lambda v: (v.ewma_latency_ms, v.index)).index]
+            replica.in_flight += 1
+        try:
+            result, _ = replica.call(payload[None])
+            return result[0]
+        finally:
+            with self._lock:
+                replica.in_flight -= 1
+
+    async def rescue(self, payload) -> np.ndarray:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.rescue_sync, payload)
+
+    # ------------------------------------------------------------------ #
+    # Health & telemetry
+    # ------------------------------------------------------------------ #
+    def check_health(self, restart_dead: bool = True) -> List[bool]:
+        """Ping every replica; optionally restart the ones that fail.
+
+        Returns the per-replica liveness list *before* any restarts.
+        Restarts run synchronously here (unlike the dispatch path's
+        background restarts) so callers can treat a ``True``-free return
+        from a second call as "the fleet is really gone".
+        """
+        health = [replica.ping() for replica in self._replicas]
+        if restart_dead and not self._closed:
+            for replica, ok in zip(self._replicas, health):
+                if ok:
+                    continue
+                with self._lock:
+                    # Claim the restart slot under the lock so this never
+                    # races a dispatch-path background revive.
+                    if self._closed or replica.index in self._restarting:
+                        continue
+                    self._restarting.add(replica.index)
+                try:
+                    # Re-probe after claiming the slot: a revive that
+                    # finished since the health snapshot must not be
+                    # torn down again.
+                    if not replica.ping():
+                        replica.restart()
+                except Exception as exc:  # noqa: BLE001 - recorded for stats
+                    replica.last_error = f"restart failed: {exc}"
+                finally:
+                    with self._lock:
+                        self._restarting.discard(replica.index)
+        return health
+
+    def stats(self) -> List[dict]:
+        """Per-replica load/latency/failure breakdown (stable order)."""
+        return [replica.stats() for replica in self._replicas]
+
+    def __len__(self) -> int:
+        return len(self._replicas)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        alive = sum(1 for replica in self._replicas if replica.alive)
+        state = "closed" if self._closed else ("started" if self._started else "idle")
+        return (
+            f"ReplicaGroup(name={self.name!r}, replicas={len(self._replicas)}, alive={alive}, "
+            f"router={self._router.name!r}, state={state!r})"
+        )

@@ -1,0 +1,275 @@
+"""Parent-side handle of one replica worker process.
+
+A :class:`Replica` owns everything one worker needs on the parent side:
+the spawned process, the request pipe, the outbound shared-memory arena,
+the attachment cache for the worker's response arena, and the telemetry
+the routers read (in-flight depth, EWMA wall/compute latency, failure and
+restart counters).
+
+:meth:`call` is deliberately *blocking* -- the group runs it in the
+event loop's thread-pool executor -- and serialized per replica by a
+lock: one pipe, one in-order conversation.  ``in_flight`` (maintained by
+the group around each dispatch) therefore counts queued-plus-running
+calls, which is exactly the depth signal ``least_loaded`` and
+``power_of_two_choices`` balance on.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.errors import ReplicaCrashError, ReplicaTimeoutError, WorkerStartupError
+from repro.cluster.shm import ShmArena, ShmReader
+from repro.cluster.worker import worker_main
+from repro.engine.spec import SessionSpec
+
+__all__ = ["Replica"]
+
+#: How often the waiting side polls the pipe (also the liveness-check cadence).
+_POLL_S = 0.02
+
+
+class Replica:
+    """One worker process plus its parent-side plumbing and telemetry."""
+
+    def __init__(
+        self,
+        spec: SessionSpec,
+        index: int = 0,
+        *,
+        handicap_s: float = 0.0,
+        call_timeout_s: float = 60.0,
+        start_timeout_s: float = 120.0,
+        ewma_alpha: float = 0.2,
+        start_method: str = "spawn",
+    ):
+        if call_timeout_s <= 0 or start_timeout_s <= 0:
+            raise ValueError("timeouts must be > 0")
+        self.spec = spec
+        self.index = int(index)
+        self.handicap_s = float(handicap_s)
+        self.call_timeout_s = float(call_timeout_s)
+        self.start_timeout_s = float(start_timeout_s)
+        self._ewma_alpha = float(ewma_alpha)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._lock = threading.Lock()  # serializes pipe access + restart
+        self._proc = None
+        self._conn = None
+        self._requests = ShmArena()
+        self._responses = ShmReader()
+        self._ready = False
+        self._seq = 0
+        self.meta: Optional[dict] = None
+        #: Calls currently dispatched at (or queued for) this replica;
+        #: maintained by the owning group around each dispatch.
+        self.in_flight = 0
+        self.dispatched = 0
+        self.failures = 0
+        self.restarts = 0
+        self.ewma_latency_s = 0.0
+        self.ewma_compute_s = 0.0
+        self.last_error: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def alive(self) -> bool:
+        """Eligible for dispatch: handshaken and the process is running."""
+        return bool(self._ready and self._proc is not None and self._proc.is_alive())
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid if self._proc is not None else None
+
+    def start(self) -> "Replica":
+        """Spawn the worker and wait for its ``ready`` handshake."""
+        with self._lock:
+            if self.alive:
+                return self
+            self._spawn_locked()
+            return self
+
+    def _spawn_locked(self) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, self.spec, {"handicap_s": self.handicap_s}),
+            name=f"repro-replica-{self.index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # the worker holds the only other end now
+        deadline = time.monotonic() + self.start_timeout_s
+        while not parent_conn.poll(_POLL_S):
+            if not proc.is_alive():
+                parent_conn.close()
+                raise WorkerStartupError(
+                    f"replica {self.index} died during startup (exit code {proc.exitcode})"
+                )
+            if time.monotonic() > deadline:
+                proc.kill()
+                parent_conn.close()
+                raise WorkerStartupError(
+                    f"replica {self.index} did not hand-shake within {self.start_timeout_s:g}s"
+                )
+        message = parent_conn.recv()
+        if message[0] != "ready":
+            detail = message[1] if len(message) > 1 else "?"
+            parent_conn.close()
+            proc.join(timeout=2.0)
+            raise WorkerStartupError(f"replica {self.index} failed to build its session:\n{detail}")
+        self._proc, self._conn, self.meta = proc, parent_conn, message[1]
+        self._ready = True
+
+    def restart(self) -> "Replica":
+        """Tear down whatever is left of the worker and spawn a fresh one."""
+        with self._lock:
+            self._teardown_locked(graceful=False)
+            self._spawn_locked()
+            self.restarts += 1
+            return self
+
+    def close(self) -> None:
+        """Stop the worker (graceful ``stop`` message, then force)."""
+        with self._lock:
+            self._teardown_locked(graceful=True)
+
+    def _teardown_locked(self, graceful: bool) -> None:
+        self._ready = False
+        conn, self._conn = self._conn, None
+        proc, self._proc = self._proc, None
+        if conn is not None:
+            if graceful and proc is not None and proc.is_alive():
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if proc is not None:
+            proc.join(timeout=5.0 if graceful else 0.5)
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5.0)
+            proc.close()
+        # Reclaim the worker's response arena unconditionally.  Only a
+        # worker that processed ``stop`` unlinks its own arena; one that
+        # was already dead at close, crashed mid-call, or had to be
+        # kill()ed never does -- and distinguishing those exit paths
+        # reliably is not worth it when a second unlink is a harmless
+        # FileNotFoundError (swallowed before any tracker message).
+        self._responses.unlink_all()
+        self._requests.close(unlink=True)
+
+    # ------------------------------------------------------------------ #
+    # Calls
+    # ------------------------------------------------------------------ #
+    def ping(self, timeout_s: float = 5.0) -> bool:
+        """Round-trip liveness probe; ``False`` means dead or wedged."""
+        with self._lock:
+            if not self.alive:
+                return False
+            self._seq += 1
+            seq = self._seq
+            try:
+                self._conn.send(("ping", seq))
+                answer = self._recv_locked(time.monotonic() + timeout_s)
+            except (ReplicaCrashError, ReplicaTimeoutError):
+                return False
+            return answer[0] == "pong" and answer[1] == seq
+
+    def call(self, batch: np.ndarray, timeout_s: Optional[float] = None) -> "tuple[np.ndarray, float]":
+        """Run one fused batch on the worker; returns ``(result, compute_s)``.
+
+        Blocking; safe to invoke from any thread (internally serialized).
+
+        Raises :class:`ReplicaCrashError` when the worker process dies or
+        the pipe breaks mid-call, :class:`ReplicaTimeoutError` when no
+        answer arrives in time (the replica is marked unready -- the
+        group restarts it), and ``RuntimeError`` for an error *answer*
+        (the worker stays up; the request itself was at fault).
+        """
+        deadline = time.monotonic() + (timeout_s if timeout_s is not None else self.call_timeout_s)
+        started = time.perf_counter()
+        with self._lock:
+            if not self.alive:
+                raise ReplicaCrashError(f"replica {self.index} is not running")
+            self._seq += 1
+            seq = self._seq
+            try:
+                ref = self._requests.write(batch)
+                self._conn.send(("run", ref, seq))
+                answer = self._recv_locked(deadline)
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                self._mark_failed_locked(f"pipe broke mid-call: {exc}")
+                raise ReplicaCrashError(f"replica {self.index} pipe broke mid-call") from exc
+            kind = answer[0]
+            if kind == "err":
+                self.failures += 1
+                self.last_error = str(answer[2])
+                raise RuntimeError(f"replica {self.index} request failed:\n{answer[2]}")
+            if kind != "ok" or answer[1] != seq:  # pragma: no cover - protocol guard
+                self._mark_failed_locked(f"protocol desync (got {kind!r})")
+                raise ReplicaCrashError(f"replica {self.index} answered out of order")
+            _, _, out_ref, compute_s = answer
+            result = self._responses.take(out_ref)
+            wall_s = time.perf_counter() - started
+            self.dispatched += 1
+            alpha = self._ewma_alpha
+            if self.dispatched == 1:
+                self.ewma_latency_s, self.ewma_compute_s = wall_s, compute_s
+            else:
+                self.ewma_latency_s += alpha * (wall_s - self.ewma_latency_s)
+                self.ewma_compute_s += alpha * (compute_s - self.ewma_compute_s)
+            return result, compute_s
+
+    def _recv_locked(self, deadline: float):
+        while not self._conn.poll(_POLL_S):
+            if self._proc is None or not self._proc.is_alive():
+                self._mark_failed_locked("process died mid-call")
+                raise ReplicaCrashError(f"replica {self.index} died mid-call")
+            if time.monotonic() > deadline:
+                # A wedged worker cannot be trusted to answer in order
+                # anymore; unready it so the group restarts rather than
+                # reads a stale response for the next call.
+                self._mark_failed_locked("call timed out")
+                raise ReplicaTimeoutError(
+                    f"replica {self.index} did not answer within the call timeout"
+                )
+        return self._conn.recv()
+
+    def _mark_failed_locked(self, reason: str) -> None:
+        self._ready = False
+        self.failures += 1
+        self.last_error = reason
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Flat per-replica snapshot (``ReplicaGroup.stats()`` rows)."""
+        return {
+            "replica": self.index,
+            "pid": self.pid,
+            "alive": self.alive,
+            "in_flight": self.in_flight,
+            "dispatched": self.dispatched,
+            "failures": self.failures,
+            "restarts": self.restarts,
+            "ewma_latency_ms": self.ewma_latency_s * 1000.0,
+            "ewma_compute_ms": self.ewma_compute_s * 1000.0,
+            "handicap_ms": self.handicap_s * 1000.0,
+            "last_error": self.last_error,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "alive" if self.alive else "down"
+        return f"Replica(index={self.index}, pid={self.pid}, {state}, dispatched={self.dispatched})"

@@ -1,0 +1,173 @@
+"""Shared-memory array transport between the parent and replica workers.
+
+Batches of images are the bulk of every cluster message.  Pickling them
+through a pipe would copy each array twice (serialize + deserialize) and
+hold the GIL while doing it; instead, array *payloads* travel through
+:mod:`multiprocessing.shared_memory` blocks and only tiny descriptors
+(block name, shape, dtype) cross the pipe.
+
+Two pieces:
+
+* :class:`ShmArena` -- the sender side: one owned, grow-on-demand block.
+  ``write(array)`` copies the array in and returns the descriptor to put
+  on the pipe.  The block is reused across calls and only reallocated
+  (doubling) when a batch outgrows it, so steady-state traffic performs
+  zero shared-memory system calls.
+* :class:`ShmReader` -- the receiver side: attaches blocks by name
+  (cached until the sender reallocates under a new name) and returns
+  zero-copy ndarray views.
+
+Each direction has its own arena owned by its writer: the parent owns a
+request arena per replica, each worker owns its response arena.  The
+reader must copy data out (or finish using the view) before the next
+message, since the writer will overwrite the block.
+
+Resource-tracker note: the writer unlinks its own block on a clean
+shutdown, and the reader's teardown (:meth:`ShmReader.unlink_all`) also
+unlinks whatever it still has attached -- whichever side gets there
+first wins and the other's attempt is a swallowed ``FileNotFoundError``
+(raised before any tracker message, so the tracker sees exactly one
+unregister per name).  Attachments must not add cleanup tracking of
+their own: on Python >= 3.13 the attach passes ``track=False``; on
+earlier versions an attach re-registers the name, which is harmless --
+the tracker's cache is a set, so the owner's registration is simply
+deduplicated.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["ShmArena", "ShmReader", "ArrayRef"]
+
+#: Pipe-sized descriptor of an array sitting in a shared-memory block.
+ArrayRef = Tuple[str, tuple, str]
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing block without adding cleanup tracking."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # Python >= 3.13
+    except TypeError:  # pragma: no cover - version-dependent branch
+        # <= 3.12: attach registers the (already-registered) name; the
+        # tracker cache is a set, so this deduplicates away (docstring).
+        return shared_memory.SharedMemory(name=name)
+
+
+class ShmArena:
+    """One owned, reusable shared-memory block for outbound arrays."""
+
+    def __init__(self, min_bytes: int = 1 << 16):
+        if min_bytes < 1:
+            raise ValueError("min_bytes must be >= 1")
+        self._min_bytes = int(min_bytes)
+        self._block: Optional[shared_memory.SharedMemory] = None
+
+    @property
+    def name(self) -> Optional[str]:
+        return self._block.name if self._block is not None else None
+
+    @property
+    def nbytes(self) -> int:
+        return self._block.size if self._block is not None else 0
+
+    def _ensure(self, nbytes: int) -> shared_memory.SharedMemory:
+        if self._block is not None and self._block.size >= nbytes:
+            return self._block
+        # Doubling growth: a burst of one huge batch does not force a
+        # reallocation for every slightly-bigger batch after it.
+        size = max(self._min_bytes, self.nbytes)
+        while size < nbytes:
+            size *= 2
+        self.close(unlink=True)
+        self._block = shared_memory.SharedMemory(create=True, size=size)
+        return self._block
+
+    def write(self, array: np.ndarray) -> ArrayRef:
+        """Copy ``array`` into the arena; returns the pipe descriptor."""
+        array = np.ascontiguousarray(array)
+        block = self._ensure(max(1, array.nbytes))
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+        view[...] = array
+        return (block.name, array.shape, array.dtype.str)
+
+    def close(self, unlink: bool = True) -> None:
+        """Release (and, as owner, unlink) the current block.
+
+        Unlink runs *first*: it only needs the name, while ``close`` can
+        raise ``BufferError`` when a stale ndarray view still pins the
+        mmap -- and an aborted close must never cost the unlink (the
+        pages are freed when the last mapping dies regardless).
+        """
+        if self._block is None:
+            return
+        block, self._block = self._block, None
+        if unlink:
+            try:
+                block.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+                pass
+        try:
+            block.close()
+        except (BufferError, OSError):  # pragma: no cover - view still exported
+            pass
+
+
+class ShmReader:
+    """Attach-side cache: descriptors -> zero-copy ndarray views."""
+
+    def __init__(self) -> None:
+        self._attached: Dict[str, shared_memory.SharedMemory] = {}
+
+    def view(self, ref: ArrayRef) -> np.ndarray:
+        """Zero-copy view of the array a descriptor points at.
+
+        The view aliases the sender's buffer: copy out (``np.array``)
+        anything that must survive past the next message.
+        """
+        name, shape, dtype = ref
+        block = self._attached.get(name)
+        if block is None:
+            # The sender reallocated under a new name: drop stale
+            # attachments (their segments are about to be unlinked).
+            self.close()
+            block = _attach_untracked(name)
+            self._attached[name] = block
+        return np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=block.buf)
+
+    def take(self, ref: ArrayRef) -> np.ndarray:
+        """Owned copy of the referenced array (safe past the next message)."""
+        return np.array(self.view(ref))
+
+    def close(self) -> None:
+        """Detach every cached block (never unlinks -- reader side).
+
+        ``BufferError`` (a consumer's ndarray view still pinning the
+        mmap) is swallowed like ``OSError``: the mapping dies with the
+        last reference, and cleanup must keep going.
+        """
+        attached, self._attached = self._attached, {}
+        for block in attached.values():
+            try:
+                block.close()
+            except (BufferError, OSError):  # pragma: no cover - defensive
+                pass
+
+    def unlink_all(self) -> None:
+        """Best-effort unlink of attached blocks, then detach.
+
+        Called at every worker teardown: a worker that processed its
+        ``stop`` already unlinked its own arena (this then no-ops on
+        ``FileNotFoundError``), while a crashed or killed worker never
+        did -- the parent's attachments are the last handle that can keep
+        ``/dev/shm`` from leaking.
+        """
+        for block in list(self._attached.values()):
+            try:
+                block.unlink()
+            except (FileNotFoundError, OSError):
+                pass
+        self.close()

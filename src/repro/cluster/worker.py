@@ -1,0 +1,133 @@
+"""The replica worker: a spawned child process serving fused batch calls.
+
+Each worker rebuilds an :class:`~repro.engine.InferenceSession` from a
+picklable :class:`~repro.engine.SessionSpec` (its *own* compiled program,
+kernel caches and FFT plans, in its own address space -- this is what
+frees a replica group from the parent's GIL), then answers a tiny
+request/response protocol over a pipe:
+
+========================  =============================================
+parent -> worker          worker -> parent
+========================  =============================================
+``("run", ref, seq)``     ``("ok", seq, ref, compute_s)`` or
+                          ``("err", seq, message)``
+``("ping", seq)``         ``("pong", seq)``
+``("stop",)``             (exits after cleanup)
+========================  =============================================
+
+plus a one-shot ``("ready", meta)`` / ``("fatal", message)`` handshake
+after the session is built.  ``ref`` descriptors are
+:data:`~repro.cluster.shm.ArrayRef` tuples -- the batch arrays themselves
+move through shared memory (:mod:`repro.cluster.shm`), never through the
+pipe.
+
+A per-request failure answers ``("err", ...)`` and the worker lives on;
+only a broken pipe (parent gone) or ``stop`` ends the loop.  The
+``handicap_s`` option adds a fixed sleep to every call: a deliberately
+slowed replica for asymmetric-capacity tests and benchmarks (see
+``benchmarks/bench_sharded_serving.py``).
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+import traceback
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.shm import ShmArena, ShmReader
+from repro.engine.spec import SessionSpec
+
+__all__ = ["worker_main", "probe_session"]
+
+
+def probe_session(session) -> dict:
+    """Session metadata for the startup handshake.
+
+    Runs one zero-image batch so the parent learns the per-item output
+    shape (needed for empty-batch semantics and stats) -- which also
+    warms the worker's FFT plan and kernel caches before traffic lands.
+    """
+    input_shape = tuple(session.input_shape)
+    warm = session.run(np.zeros((1,) + input_shape))
+    return {
+        "kind": session.kind,
+        "backend": session.backend_name,
+        "dtype": session.dtype.name,
+        "input_shape": input_shape,
+        "output_item_shape": tuple(warm.shape[1:]),
+        "output_dtype": warm.dtype.str,
+    }
+
+
+def worker_main(conn, spec: SessionSpec, options: Optional[dict] = None) -> None:
+    """Entry point of one replica worker process (``spawn`` start method).
+
+    ``conn`` is the worker end of a ``multiprocessing.Pipe``; ``options``
+    currently understands ``handicap_s`` (artificial per-call sleep,
+    seconds).  Never raises: startup failures are reported as
+    ``("fatal", message)`` and per-request failures as ``("err", ...)``.
+    """
+    options = options or {}
+    handicap_s = float(options.get("handicap_s") or 0.0)
+    # The parent owns worker lifetime (stop message / terminate): a
+    # keyboard interrupt aimed at the parent must not race its shutdown.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread / platform
+        pass
+
+    try:
+        session = spec.build()
+        meta = probe_session(session)
+    except Exception:
+        try:
+            conn.send(("fatal", traceback.format_exc(limit=8)))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", meta))
+
+    requests = ShmReader()   # parent-owned request arena
+    responses = ShmArena()   # worker-owned response arena
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return  # parent is gone; nothing left to answer
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "ping":
+                conn.send(("pong", message[1]))
+                continue
+            if kind != "run":  # pragma: no cover - protocol guard
+                conn.send(("err", message[1] if len(message) > 1 else -1, f"unknown message {kind!r}"))
+                continue
+            _, ref, seq = message
+            try:
+                # The view aliases the parent's arena; the session copies
+                # during encoding, and the parent will not overwrite the
+                # block before it has our response.
+                batch = requests.view(ref)
+                started = time.perf_counter()
+                result = session.run(batch, batch_size=len(batch) or None)
+                compute_s = time.perf_counter() - started
+                if handicap_s > 0.0:
+                    time.sleep(handicap_s)
+                out_ref = responses.write(np.asarray(result))
+            except Exception:
+                conn.send(("err", seq, traceback.format_exc(limit=8)))
+                continue
+            conn.send(("ok", seq, out_ref, compute_s))
+            # The view from this iteration must not outlive the message:
+            # a lingering reference pins the parent's arena mmap and
+            # turns the shutdown close into a BufferError.
+            del batch
+    finally:
+        requests.close()
+        responses.close(unlink=True)
+        conn.close()

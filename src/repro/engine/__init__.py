@@ -8,6 +8,9 @@ Public surface:
 * :func:`get_fft_backend` / :func:`available_backends` -- the FFT
   dispatch layer (scipy with thread workers when installed, numpy
   fallback otherwise).
+* :class:`SessionSpec` -- picklable recipe (``session.to_spec()`` /
+  ``spec.build()``) that lets ``repro.cluster`` rebuild the session in a
+  spawned worker process.
 """
 
 from repro.engine.backends import (
@@ -17,10 +20,12 @@ from repro.engine.backends import (
     get_fft_backend,
 )
 from repro.engine.session import COMPLEX64_LOGIT_ATOL, InferenceSession, compile_model
+from repro.engine.spec import SessionSpec
 
 __all__ = [
     "InferenceSession",
     "compile_model",
+    "SessionSpec",
     "COMPLEX64_LOGIT_ATOL",
     "available_backends",
     "get_fft_backend",

@@ -25,6 +25,7 @@ logits (see ``tests/test_engine.py``).
 
 from __future__ import annotations
 
+import pickle
 from typing import Callable, List, Optional
 
 import numpy as np
@@ -338,7 +339,17 @@ class InferenceSession:
         model.eval()
         try:
             with no_grad():
-                return _compile(model, self.fft, self.dtype)
+                program = _compile(model, self.fft, self.dtype)
+                # Captured *here*, not in to_spec(): the spec must rebuild
+                # the parameters this program compiled, and the model may
+                # train on after the snapshot (that is why refresh()
+                # exists).  Pickling at snapshot time keeps spec and
+                # program in lock-step.
+                try:
+                    self._model_blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception:
+                    self._model_blob = None  # unpicklable model: to_spec() will refuse
+                return program
         finally:
             model.train(was_training)
 
@@ -366,6 +377,38 @@ class InferenceSession:
         """Re-snapshot the model's current parameters into the session."""
         self._program = self._snapshot(self._model)
         return self
+
+    def to_spec(self):
+        """Picklable :class:`~repro.engine.SessionSpec` rebuilding this session.
+
+        A compiled session cannot cross a process boundary (its program is
+        closures over cached arrays); the spec carries the pickled model
+        plus the session options instead, and ``spec.build()`` on the
+        other side compiles an identical session.  The model parameters
+        in the spec are the ones captured at the last snapshot
+        (construction or :meth:`refresh`) -- training steps taken since
+        do **not** leak in, so replicas built from the spec match *this*
+        session's outputs even when the live model has moved on.  The
+        *resolved* backend name is recorded (not ``"auto"``), so the
+        rebuilt session uses the same FFT implementation as this one.
+
+        Raises ``TypeError`` when the snapshotted model could not be
+        pickled.
+        """
+        from repro.engine.spec import SessionSpec
+
+        if self._model_blob is None:
+            raise TypeError(
+                f"cannot build a SessionSpec: {type(self._model).__name__} failed to pickle at snapshot time"
+            )
+        return SessionSpec(
+            model_blob=self._model_blob,
+            model_type=type(self._model).__name__,
+            batch_size=self.batch_size,
+            backend=self.backend_name,
+            workers=self.fft.workers,
+            dtype=self.dtype.name,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,97 @@
+"""Picklable session specs: ship a compiled-model recipe across processes.
+
+A compiled :class:`~repro.engine.InferenceSession` is deliberately *not*
+picklable -- its program is a chain of closures over cached kernel
+arrays.  What crosses a process boundary instead is a
+:class:`SessionSpec`: the pickled trained model plus the session options,
+i.e. everything needed to run ``export_session`` again on the other side.
+``repro.cluster`` spawns replica workers from exactly this object; each
+worker rebuilds its own session (and its own FFT plan/kernel caches,
+which must live in the worker's address space anyway).
+
+The round-trip is exact: models hold plain numpy parameter arrays, so
+``spec.build()`` in another process compiles the *same* program and its
+outputs match the originating session bit-for-bit (see
+``tests/test_cluster.py::TestSessionSpec``).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["SessionSpec"]
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """A picklable recipe for rebuilding an :class:`InferenceSession`.
+
+    Parameters mirror :class:`~repro.engine.InferenceSession`; the model
+    itself travels as pickle bytes (``model_blob``) so the spec stays a
+    plain value object that any ``multiprocessing`` start method --
+    including ``spawn``, which re-imports everything -- can ship.
+
+    Raises
+    ------
+    TypeError
+        From :meth:`from_model` when the model cannot be pickled, and
+        from :meth:`build` (via ``InferenceSession``) when the blob does
+        not decode to a compilable model family.
+    """
+
+    model_blob: bytes = field(repr=False)
+    model_type: str = "?"
+    batch_size: int = 64
+    backend: str = "auto"
+    workers: Optional[int] = None
+    dtype: str = "complex128"
+
+    @classmethod
+    def from_model(
+        cls,
+        model,
+        batch_size: int = 64,
+        backend: str = "auto",
+        workers: Optional[int] = None,
+        dtype="complex128",
+    ) -> "SessionSpec":
+        """Snapshot ``model`` (with session options) into a spec.
+
+        The model's *current* parameters are captured; later training
+        steps do not propagate into specs already taken.
+        """
+        try:
+            blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise TypeError(
+                f"cannot build a SessionSpec from {type(model).__name__}: model failed to pickle ({exc})"
+            ) from exc
+        return cls(
+            model_blob=blob,
+            model_type=type(model).__name__,
+            batch_size=int(batch_size),
+            backend=str(backend),
+            workers=workers,
+            dtype=str(dtype),
+        )
+
+    def build(self):
+        """Reconstruct the model and compile a fresh session from it."""
+        from repro.engine.session import InferenceSession
+
+        model = pickle.loads(self.model_blob)
+        return InferenceSession(
+            model,
+            batch_size=self.batch_size,
+            backend=self.backend,
+            workers=self.workers,
+            dtype=self.dtype,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SessionSpec(model={self.model_type}, blob={len(self.model_blob)}B, "
+            f"backend={self.backend!r}, dtype={self.dtype!r}, batch_size={self.batch_size})"
+        )

@@ -16,7 +16,10 @@ single-image requests* into exactly that shape of work:
   with :class:`~repro.serve.errors.DeadlineExceededError` *before* any
   engine time is spent on it);
 * the batch runs as **one** engine call (in a thread-pool executor by
-  default, so the event loop keeps accepting requests while numpy works);
+  default, so the event loop keeps accepting requests while numpy works)
+  -- or, when a ``dispatch`` coroutine is installed, it is handed off
+  wholesale (this is the seam ``repro.cluster`` plugs replica groups
+  into: the fused batch leaves the process instead of running inline);
 * each result row is scattered back to its caller's future, and the
   measured queue-wait / compute times feed both the telemetry windows
   (:class:`~repro.serve.metrics.BatcherStats`) and the policy's
@@ -72,6 +75,32 @@ class DynamicBatcher:
         Run engine calls in the default thread-pool executor so the event
         loop stays responsive (numpy/scipy FFTs release the GIL).  Disable
         for fully deterministic unit tests.
+    dispatch:
+        Optional coroutine function ``async (stacked_batch) -> results``
+        that replaces the inline engine call entirely -- the seam the
+        cluster layer uses to route fused batches to replica worker
+        processes (``ReplicaGroup.infer``).  ``run_in_executor`` is
+        irrelevant when set.  ``session`` is still consulted for
+        ``input_shape``/empty-batch semantics.  Unlike the inline path
+        (which computes one batch at a time -- a second in-process call
+        would just fight the first for the same cores), dispatched
+        batches *pipeline*: the worker keeps forming and launching
+        batches, up to ``max_concurrent_dispatches`` outstanding, so N
+        replicas genuinely compute N batches at once.
+    max_concurrent_dispatches:
+        Cap on in-flight dispatched batches (cluster mode only); the
+        server sets it to the replica count.  When the cap is reached the
+        worker blocks -- exactly the backpressure signal that lets the
+        queue (and ``ServerOverloadedError``) do their job.  Default 2.
+    shed_retry:
+        Optional coroutine function ``async (payload) -> result_row``
+        giving a request that is about to be shed on deadline one last
+        chance elsewhere (``ReplicaGroup.rescue`` dispatches it to an
+        idle replica).  One-shot per request; if the hook raises, the
+        request fails with the original
+        :class:`~repro.serve.errors.DeadlineExceededError`.  Applies only
+        to policy-stamped deadlines -- an explicit caller budget
+        (``submit(..., slo_ms=...)``) always fails hard on expiry.
 
     Requests may be submitted before :meth:`start`; they queue up (within
     ``max_queue``) and run once the worker starts.
@@ -105,12 +134,21 @@ class DynamicBatcher:
         idle_flush_ms: Optional[float] = None,
         input_shape: Optional[Sequence[int]] = None,
         run_in_executor: bool = True,
+        dispatch=None,
+        shed_retry=None,
+        max_concurrent_dispatches: int = 2,
         name: str = "",
     ):
         if max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if max_concurrent_dispatches < 1:
+            raise ValueError("max_concurrent_dispatches must be >= 1")
         if not callable(getattr(session, "run", None)):
             raise TypeError(f"session must expose run(batch, batch_size=...); got {type(session).__name__}")
+        if dispatch is not None and not callable(dispatch):
+            raise TypeError(f"dispatch must be an async callable, got {type(dispatch).__name__}")
+        if shed_retry is not None and not callable(shed_retry):
+            raise TypeError(f"shed_retry must be an async callable, got {type(shed_retry).__name__}")
         if policy is None:
             # FixedWindowPolicy validates the legacy knobs and reproduces
             # the pre-policy batcher behavior exactly.
@@ -124,9 +162,15 @@ class DynamicBatcher:
         self.max_queue = int(max_queue)
         self.input_shape = tuple(input_shape) if input_shape is not None else None
         self.run_in_executor = bool(run_in_executor)
+        self._dispatch = dispatch
+        self._shed_retry = shed_retry
+        self._max_concurrent_dispatches = int(max_concurrent_dispatches)
+        self._dispatch_slots: Optional[asyncio.Semaphore] = None  # created on the worker's loop
+        self._dispatch_tasks: set = set()
         self.name = name or type(session).__name__
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_queue + 1)  # +1 for the stop sentinel
         self._worker: Optional[asyncio.Task] = None
+        self._retry_tasks: set = set()
         self._closed = False
         self._stats = BatcherStats()
 
@@ -167,6 +211,14 @@ class DynamicBatcher:
             return
         await self._queue.put(_STOP)
         await self._worker
+        if self._dispatch_tasks:
+            # Dispatched batches still computing on replicas: part of the
+            # drain contract -- every accepted request resolves.
+            await asyncio.gather(*list(self._dispatch_tasks), return_exceptions=True)
+        if self._retry_tasks:
+            # Shed-retry rescues already hold their request's future; let
+            # them resolve so stop() never strands a caller.
+            await asyncio.gather(*list(self._retry_tasks), return_exceptions=True)
 
     # ------------------------------------------------------------------ #
     # Request path
@@ -192,7 +244,8 @@ class DynamicBatcher:
             )
         loop = asyncio.get_running_loop()
         arrival = loop.time()
-        if slo_ms is not None:
+        explicit = slo_ms is not None
+        if explicit:
             if slo_ms <= 0:
                 raise ValueError("slo_ms must be > 0")
             deadline = arrival + slo_ms / 1000.0
@@ -204,7 +257,15 @@ class DynamicBatcher:
             raise ServerOverloadedError(
                 f"batcher {self.name!r} is overloaded ({self.max_queue} requests pending)"
             )
-        self._queue.put_nowait(Request(payload=array, future=future, arrival=arrival, deadline=deadline))
+        self._queue.put_nowait(
+            Request(
+                payload=array,
+                future=future,
+                arrival=arrival,
+                deadline=deadline,
+                explicit_deadline=explicit,
+            )
+        )
         self._stats.submitted += 1
         return await future
 
@@ -216,9 +277,25 @@ class DynamicBatcher:
     # Worker
     # ------------------------------------------------------------------ #
     def _shed_if_expired(self, request: Request, now: float) -> bool:
-        """Apply the policy's admission check; fail expired requests fast."""
+        """Apply the policy's admission check; fail expired requests fast.
+
+        With a ``shed_retry`` hook installed, a request's *first* shed
+        hands it to the hook (one last chance on an idle replica) instead
+        of failing it; the hook's failure -- or a second shed -- produces
+        the :class:`DeadlineExceededError`.  Requests whose budget the
+        *caller* set (``submit(..., slo_ms=...)``) are never rescued:
+        an explicit budget promises ``DeadlineExceededError`` on expiry,
+        and a late result must not masquerade as success.
+        """
         if self.policy.admit(request, now):
             return False
+        if self._shed_retry is not None and not request.retried and not request.explicit_deadline:
+            request.retried = True
+            self._stats.shed_retried += 1
+            task = asyncio.get_running_loop().create_task(self._rescue(request))
+            self._retry_tasks.add(task)
+            task.add_done_callback(self._retry_tasks.discard)
+            return True
         self._stats.deadline_missed += 1
         if not request.future.done():
             overdue_ms = (now - request.deadline) * 1000.0 if request.deadline is not None else 0.0
@@ -229,6 +306,24 @@ class DynamicBatcher:
                 )
             )
         return True
+
+    async def _rescue(self, request: Request) -> None:
+        """Run the one-shot shed-retry hook and settle the request."""
+        try:
+            row = await self._shed_retry(request.payload)
+        except Exception:
+            self._stats.deadline_missed += 1
+            if not request.future.done():
+                request.future.set_exception(
+                    DeadlineExceededError(
+                        f"request to {self.name!r} missed its deadline and the one-shot "
+                        "replica rescue could not take it"
+                    )
+                )
+            return
+        self._stats.shed_recovered += 1
+        if not request.future.done():
+            request.future.set_result(np.asarray(row))
 
     async def _worker_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -277,16 +372,37 @@ class DynamicBatcher:
                 else:
                     batch.append(nxt)
             if batch:
-                await self._execute(batch)
+                if self._dispatch is not None:
+                    # Pipeline: launch the dispatch and go straight back to
+                    # forming the next batch -- replicas compute in other
+                    # processes, so holding the loop here would leave N-1
+                    # of them idle.  The semaphore caps outstanding batches
+                    # at the replica count (backpressure beyond it).
+                    if self._dispatch_slots is None:
+                        self._dispatch_slots = asyncio.Semaphore(self._max_concurrent_dispatches)
+                    await self._dispatch_slots.acquire()
+                    task = loop.create_task(self._execute_released(batch))
+                    self._dispatch_tasks.add(task)
+                    task.add_done_callback(self._dispatch_tasks.discard)
+                else:
+                    await self._execute(batch)
             if stopping:
                 return
+
+    async def _execute_released(self, batch: List[Request]) -> None:
+        try:
+            await self._execute(batch)
+        finally:
+            self._dispatch_slots.release()
 
     async def _execute(self, batch: List[Request]) -> None:
         loop = asyncio.get_running_loop()
         started = loop.time()
         try:
             stacked = np.stack([request.payload for request in batch], axis=0)
-            if self.run_in_executor:
+            if self._dispatch is not None:
+                results = await self._dispatch(stacked)
+            elif self.run_in_executor:
                 results = await loop.run_in_executor(None, self._fused_call, stacked)
             else:
                 results = self._fused_call(stacked)

@@ -109,8 +109,19 @@ class BatcherStats:
         queue; the batcher fails them with
         :class:`~repro.serve.DeadlineExceededError` *before* admission to
         a batch, so no engine time is wasted on answers nobody can use.
+    shed_retried / shed_recovered:
+        Requests handed to the batcher's one-shot shed-retry hook (the
+        cluster layer's rescue-on-an-idle-replica path) instead of being
+        failed outright, and how many of those the hook answered.  A
+        rescued request counts under neither ``deadline_missed`` nor the
+        batch counters -- it bypassed the batch entirely.
     batches / largest_batch / mean_batch_size:
         Fusion quality of the policy.
+
+    ``replicas`` is ``None`` for in-process models; a server running a
+    model on a :class:`~repro.cluster.ReplicaGroup` attaches the group's
+    per-replica breakdown (in-flight depth, EWMA latency, restarts)
+    before returning :meth:`~repro.serve.InferenceServer.stats`.
 
     Windows (milliseconds)
     ----------------------
@@ -125,11 +136,15 @@ class BatcherStats:
         self.completed = 0
         self.rejected = 0
         self.deadline_missed = 0
+        self.shed_retried = 0
+        self.shed_recovered = 0
         self.batches = 0
         self.largest_batch = 0
         self.latency = PercentileWindow(window)
         self.queue_wait = PercentileWindow(window)
         self.compute = PercentileWindow(window)
+        #: Per-replica breakdown, attached by the server for cluster models.
+        self.replicas = None
 
     # ------------------------------------------------------------------ #
     # Recording (called from the batcher's worker task)
@@ -166,12 +181,18 @@ class BatcherStats:
         return self.latency.percentile(99)
 
     def as_dict(self) -> dict:
-        """Flat JSON-friendly snapshot (counters + percentile summary)."""
-        return {
+        """Flat JSON-friendly snapshot (counters + percentile summary).
+
+        Cluster-backed models additionally carry a ``replicas`` list with
+        one row per worker process.
+        """
+        snapshot = {
             "submitted": self.submitted,
             "completed": self.completed,
             "rejected": self.rejected,
             "deadline_missed": self.deadline_missed,
+            "shed_retried": self.shed_retried,
+            "shed_recovered": self.shed_recovered,
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "mean_batch_size": self.mean_batch_size,
@@ -181,6 +202,9 @@ class BatcherStats:
             "mean_queue_wait_ms": self.queue_wait.mean(),
             "mean_compute_ms": self.compute.mean(),
         }
+        if self.replicas is not None:
+            snapshot["replicas"] = list(self.replicas)
+        return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -60,13 +60,21 @@ class Request:
 
     ``arrival`` and ``deadline`` are event-loop timestamps
     (``loop.time()`` seconds); ``deadline`` is ``None`` when neither the
-    caller nor the policy imposes a latency budget.
+    caller nor the policy imposes a latency budget.  ``retried`` marks a
+    request already handed to the batcher's one-shot shed-retry hook, so
+    a second shed fails it for good.  ``explicit_deadline`` records that
+    the *caller* set the budget (``submit(..., slo_ms=...)``) rather than
+    the policy: an explicit budget is a hard contract -- expiry resolves
+    to :class:`~repro.serve.DeadlineExceededError`, never to a late
+    rescued result.
     """
 
     payload: Any
     future: Any
     arrival: float
     deadline: Optional[float] = None
+    retried: bool = False
+    explicit_deadline: bool = False
 
 
 class BatchingPolicy:

@@ -10,11 +10,19 @@ name-keyed catalogue the server routes requests with.
 ``run(batch, batch_size=...)``), or a trainable model exposing
 ``export_session`` -- in which case it is compiled on the spot with the
 given session options (``dtype="complex64"`` etc.).
+
+A registry can be capacity-bounded: ``max_models=N`` turns it into an
+LRU cache, so a multi-tenant server that registers models on demand
+cannot grow without bound.  Eviction only drops the registry's
+*reference* -- a session stays alive as long as anything else (a live
+batcher, in-flight requests) still holds it, so traffic already admitted
+on an evicted model completes normally.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Tuple
 
 from repro.serve.errors import UnknownModelError
 
@@ -22,34 +30,51 @@ from repro.serve.errors import UnknownModelError
 class SessionRegistry:
     """Name-keyed catalogue of inference sessions for multi-tenant serving.
 
+    Parameters
+    ----------
+    max_models:
+        Optional capacity bound.  Registering a new name beyond it evicts
+        the least-recently-used entries (use = :meth:`get` or
+        :meth:`register`); :meth:`register` returns normally and the
+        evicted names are observable via :attr:`last_evicted`.  ``None``
+        (default) keeps the registry unbounded.
+
     Raises
     ------
     ValueError
-        From :meth:`register` for an empty/non-string name, a duplicate
-        name without ``replace=True``, or session options passed with an
-        already-compiled session.
+        For ``max_models < 1``; from :meth:`register` for an empty or
+        non-string name, a duplicate name without ``replace=True``, or
+        session options passed with an already-compiled session.
     TypeError
         From :meth:`register` for objects that are neither session-like
         (``run`` method) nor models (``export_session`` method).
     UnknownModelError
         From :meth:`get` / :meth:`unregister` for unregistered names.
 
-    Thread-safety: the registry is a plain dict with no locking.
+    Thread-safety: the registry is a plain ordered dict with no locking.
     :class:`~repro.serve.InferenceServer` mutates it only from the event
     loop (``add_model``), which is the supported pattern; registering
     concurrently from multiple threads is not.  Lookups (:meth:`get`,
-    ``in``, ``names``) are safe from any thread.
+    ``in``, ``names``) are safe from any thread, though under
+    ``max_models`` a :meth:`get` also refreshes recency.
     """
 
-    def __init__(self) -> None:
-        self._sessions: Dict[str, object] = {}
+    def __init__(self, max_models: Optional[int] = None) -> None:
+        if max_models is not None and max_models < 1:
+            raise ValueError("max_models must be >= 1 (or None for unbounded)")
+        self.max_models = max_models
+        self._sessions: "OrderedDict[str, object]" = OrderedDict()
+        #: Names dropped by the most recent :meth:`register` call.
+        self.last_evicted: Tuple[str, ...] = ()
 
     def register(self, name: str, model_or_session, *, replace: bool = False, **session_kwargs):
         """Register a session under ``name`` and return it.
 
         ``model_or_session`` is either a session-like object (used as-is;
         ``session_kwargs`` must then be empty) or a model with
-        ``export_session(**session_kwargs)``.
+        ``export_session(**session_kwargs)``.  Under ``max_models``, the
+        least-recently-used entries are evicted to make room (never the
+        name being registered).
         """
         if not name or not isinstance(name, str):
             raise ValueError("model name must be a non-empty string")
@@ -69,7 +94,14 @@ class SessionRegistry:
                 f"cannot register {type(model_or_session).__name__}: expected an InferenceSession-like "
                 "object (run method) or a model with export_session()"
             )
+        evicted: List[str] = []
+        if self.max_models is not None and name not in self._sessions:
+            while len(self._sessions) >= self.max_models:
+                stale, _ = self._sessions.popitem(last=False)
+                evicted.append(stale)
         self._sessions[name] = session
+        self._sessions.move_to_end(name)  # registration counts as use
+        self.last_evicted = tuple(evicted)
         return session
 
     def unregister(self, name: str) -> None:
@@ -79,10 +111,13 @@ class SessionRegistry:
 
     def get(self, name: str):
         try:
-            return self._sessions[name]
+            session = self._sessions[name]
         except KeyError:
             known = ", ".join(sorted(self._sessions)) or "<none>"
             raise UnknownModelError(f"no model registered under {name!r} (registered: {known})") from None
+        if self.max_models is not None:
+            self._sessions.move_to_end(name)  # lookup refreshes recency
+        return session
 
     def names(self) -> Tuple[str, ...]:
         return tuple(self._sessions)
@@ -97,4 +132,5 @@ class SessionRegistry:
         return len(self._sessions)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SessionRegistry({sorted(self._sessions)})"
+        bound = f", max_models={self.max_models}" if self.max_models is not None else ""
+        return f"SessionRegistry({sorted(self._sessions)}{bound})"

@@ -14,6 +14,14 @@ block the digit classifier.  Requests to unknown names raise
 :class:`UnknownModelError`; a full per-model queue raises
 :class:`ServerOverloadedError`; a stopped server raises
 :class:`ServerClosedError`.
+
+With ``replicas=N`` (server-wide or per model) the fused batches leave
+the process entirely: each such model runs on a
+:class:`~repro.cluster.ReplicaGroup` of N spawned worker processes behind
+a routing policy (``router="round_robin" | "least_loaded" |
+"power_of_two_choices"``), sidestepping the GIL that otherwise
+serializes every model's FFT work through one interpreter.  See
+``docs/sharding.md``.
 """
 
 from __future__ import annotations
@@ -27,6 +35,40 @@ from repro.serve.batcher import BatcherStats, DynamicBatcher
 from repro.serve.errors import ServerClosedError
 from repro.serve.policy import BatchingPolicy
 from repro.serve.registry import SessionRegistry
+
+
+def _as_replica_group(obj):
+    """The object itself when it is a :class:`~repro.cluster.ReplicaGroup`.
+
+    Imported lazily: the serving layer must stay importable (and fully
+    functional in-process) without ever touching ``repro.cluster``.
+    """
+    from repro.cluster import ReplicaGroup
+
+    return obj if isinstance(obj, ReplicaGroup) else None
+
+
+def _build_group(model_or_session, replicas: int, router, cluster_options: dict, name: str):
+    """Spec out ``model_or_session`` and wrap it in an (unstarted) group."""
+    from repro.cluster import ReplicaGroup
+    from repro.engine.spec import SessionSpec
+
+    session_kwargs = dict(cluster_options.pop("session_kwargs", {}))
+    if hasattr(model_or_session, "export_session"):
+        spec = SessionSpec.from_model(model_or_session, **session_kwargs)
+    elif hasattr(model_or_session, "to_spec"):
+        if session_kwargs:
+            raise ValueError(
+                f"session options {sorted(session_kwargs)} need a model with export_session; "
+                f"{type(model_or_session).__name__} is already a session"
+            )
+        spec = model_or_session.to_spec()
+    else:
+        raise TypeError(
+            f"cannot shard {type(model_or_session).__name__} across replicas: expected a model "
+            "with export_session(), a session with to_spec(), or a ready ReplicaGroup"
+        )
+    return ReplicaGroup(spec, replicas=replicas, router=router, name=name, **cluster_options)
 
 
 def _expected_input_shape(session) -> Optional[Sequence[int]]:
@@ -73,6 +115,21 @@ class InferenceServer:
         Default :class:`DynamicBatcher` tuning for every model; override
         per model through ``add_model``.  The window knobs only apply to
         models without an explicit policy.
+    replicas:
+        Default worker-process count per model.  ``1`` (default) serves
+        in-process; ``>= 2`` runs each model on a
+        :class:`~repro.cluster.ReplicaGroup` of spawned workers, fed by
+        its batcher through the cluster dispatch seam.  Override per
+        model through ``add_model``.
+    router:
+        Default replica routing policy: a name (each cluster model gets
+        a fresh router) or, for a single cluster model, a
+        :class:`~repro.cluster.Router` instance -- routers hold state,
+        so an instance shared by a second cluster model is refused with
+        ``TypeError``.
+    cluster_options:
+        Extra :class:`~repro.cluster.ReplicaGroup` keyword defaults
+        (``max_retries``, ``call_timeout_s``, ``handicaps``, ...).
 
     Thread/async-safety: the server is bound to the event loop that runs
     :meth:`start`; all coroutines must be awaited on that loop.
@@ -91,7 +148,12 @@ class InferenceServer:
         max_queue: int = 256,
         idle_flush_ms: Optional[float] = None,
         run_in_executor: bool = True,
+        replicas: int = 1,
+        router="round_robin",
+        cluster_options: Optional[dict] = None,
     ):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
         self.registry = registry if registry is not None else SessionRegistry()
         self._default_policy = policy
         if policy is not None and not (isinstance(policy, BatchingPolicy) or callable(policy)):
@@ -105,12 +167,17 @@ class InferenceServer:
             "idle_flush_ms": idle_flush_ms,
             "run_in_executor": run_in_executor,
         }
+        self._default_replicas = int(replicas)
+        self._default_router = router
+        self._cluster_options = dict(cluster_options or {})
         self._overrides: Dict[str, dict] = {}
         self._policies: Dict[str, object] = {}
-        # id(policy instance) -> model name, to refuse silently sharing
-        # one stateful policy object across batchers.
+        # id(policy/router instance) -> model name, to refuse silently
+        # sharing one stateful object across batchers/groups.
         self._policy_owners: Dict[int, str] = {}
+        self._router_owners: Dict[int, str] = {}
         self._batchers: Dict[str, DynamicBatcher] = {}
+        self._groups: Dict[str, object] = {}  # name -> ReplicaGroup (cluster models)
         self._started = False
         self._closed = False
 
@@ -128,15 +195,30 @@ class InferenceServer:
         max_wait_ms: Optional[float] = None,
         max_queue: Optional[int] = None,
         idle_flush_ms: Optional[float] = None,
+        replicas: Optional[int] = None,
+        router=None,
         **session_kwargs,
     ):
-        """Register a model (compiled on the spot) or a ready session.
+        """Register a model (compiled on the spot), a session, or a group.
 
         ``policy`` (an instance or zero-arg factory) and the batcher
         tuning arguments override the server-wide defaults for this model
         only; remaining ``session_kwargs`` (``dtype``, ``backend``, ...)
         go to ``export_session`` when a model is given.  Returns the
         registered session.
+
+        ``replicas``/``router`` override the server-wide sharding
+        defaults: with an effective ``replicas >= 2`` the model is
+        wrapped in a :class:`~repro.cluster.ReplicaGroup` (its workers
+        spawn on :meth:`start`), and ``session_kwargs`` configure the
+        sessions the *workers* build.  A ready ``ReplicaGroup`` may also
+        be passed directly as ``model_or_session`` (the server takes
+        ownership and closes it on :meth:`stop`).  On an already-started
+        server, adding a cluster model spawns its workers *synchronously
+        on the event loop* -- every model's traffic stalls for the
+        spawn+compile time, so on a latency-sensitive server register
+        cluster models before :meth:`start` (or on a fresh server and
+        swap traffic over).
 
         Raises :class:`ServerClosedError` after :meth:`stop`,
         ``ValueError`` for duplicate names without ``replace=True``, and
@@ -146,10 +228,14 @@ class InferenceServer:
         """
         if self._closed:
             raise ServerClosedError("server is stopped")
-        if replace and name in self._batchers:
+        if name in self._batchers and (replace or name not in self.registry):
             # Guard before touching the registry: a half-applied swap would
             # leave the live batcher serving a session the registry no
-            # longer reports.
+            # longer reports.  The second clause catches re-registering a
+            # name the LRU registry evicted while its batcher stayed live:
+            # silently installing a second batcher would leak the first
+            # (worker task + pinned session) -- exactly the unbounded
+            # growth ``max_models`` exists to prevent.
             raise RuntimeError("stop the server before replacing a live model")
         spec = policy if policy is not None else self._default_policy
         if isinstance(spec, BatchingPolicy):
@@ -157,15 +243,80 @@ class InferenceServer:
             # instance feeding two batchers would average unrelated models'
             # behavior.  An instance may serve exactly one model;
             # server-wide defaults must be factories.  Checked before the
-            # registry mutates so a refused add leaves no trace.
-            owner = self._policy_owners.setdefault(id(spec), name)
-            if owner != name:
+            # registry mutates (and *recorded* only after registration
+            # succeeds) so a refused or failed add leaves no trace.
+            owner = self._policy_owners.get(id(spec))
+            if owner is not None and owner != name:
                 raise TypeError(
                     f"policy instance passed for {name!r} is already serving {owner!r}; "
                     "policies are stateful -- pass a factory (e.g. lambda: SLOAwarePolicy(...)) "
                     "or a fresh instance per model"
                 )
-        session = self.registry.register(name, model_or_session, replace=replace, **session_kwargs)
+        group = None
+        if hasattr(model_or_session, "infer_sync"):  # quacks like a ReplicaGroup
+            group = _as_replica_group(model_or_session)
+            if group is not None and session_kwargs:
+                raise ValueError(
+                    f"session options {sorted(session_kwargs)} cannot apply to a ready ReplicaGroup"
+                )
+        n_replicas = int(replicas) if replicas is not None else self._default_replicas
+        if n_replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        router_instance = None
+        if group is None and n_replicas >= 2:
+            effective_router = router if router is not None else self._default_router
+            if not isinstance(effective_router, str):
+                router_instance = effective_router
+                # Routers hold per-group state (cursor, RNG) mutated under
+                # each group's own lock: one instance feeding two groups
+                # would race.  Same contract (check early, record late) as
+                # the policy-instance guard.
+                owner = self._router_owners.get(id(effective_router))
+                if owner is not None and owner != name:
+                    raise TypeError(
+                        f"router instance passed for {name!r} is already serving {owner!r}; "
+                        "routers are stateful -- pass a name (e.g. router=\"power_of_two_choices\") "
+                        "or a fresh instance per model"
+                    )
+            options = dict(self._cluster_options)
+            if session_kwargs:
+                options["session_kwargs"] = session_kwargs
+            group = _build_group(model_or_session, n_replicas, effective_router, options, name)
+        if group is not None:
+            session = self.registry.register(name, group, replace=replace)
+        else:
+            session = self.registry.register(name, model_or_session, replace=replace, **session_kwargs)
+        # Registration succeeded: only now record instance ownership, so a
+        # refused or failed add leaves stateful policies/routers unclaimed.
+        if isinstance(spec, BatchingPolicy):
+            self._policy_owners[id(spec)] = name
+        if router_instance is not None:
+            self._router_owners[id(router_instance)] = name
+        # Reconcile the group table with what just got registered: a
+        # replace can swap a cluster model for an in-process one (or for
+        # a different group), and the displaced group's workers must not
+        # keep running -- nor keep answering under the old model.
+        displaced = self._groups.pop(name, None)
+        if displaced is not None and displaced is not group:
+            displaced.close()
+        if group is not None:
+            self._groups[name] = group
+        # Server-side bookkeeping must honor the registry's LRU bound:
+        # names the registration just evicted (and that have no live
+        # batcher keeping them serving) are gone for good, including any
+        # not-yet-started replica group waiting under them.
+        for evicted in self.registry.last_evicted:
+            if evicted not in self._batchers:
+                self._overrides.pop(evicted, None)
+                self._policies.pop(evicted, None)
+                stale = self._groups.pop(evicted, None)
+                if stale is not None:
+                    stale.close()
+                # Release instance ownership too: a policy/router whose
+                # model is fully gone must be reusable by a later add.
+                for owners in (self._policy_owners, self._router_owners):
+                    for key in [key for key, owner in owners.items() if owner == evicted]:
+                        del owners[key]
         overrides = {
             key: value
             for key, value in (
@@ -179,17 +330,28 @@ class InferenceServer:
         self._overrides[name] = overrides
         self._policies[name] = policy if policy is not None else self._default_policy
         if self._started:
+            if group is not None and not group.started:
+                group.start()
             self._batchers[name] = self._make_batcher(name).start()
         return session
 
     def _make_batcher(self, name: str) -> DynamicBatcher:
-        session = self.registry.get(name)
+        group = self._groups.get(name)
+        # The group outlives a registry LRU eviction (the server owns it);
+        # in-process sessions must still be in the registry to serve.
+        session = group if group is not None else self.registry.get(name)
         options = {**self._defaults, **self._overrides.get(name, {})}
         policy = _resolve_policy(self._policies.get(name))
         if policy is not None:
             # The policy owns the window knobs; only queue/executor tuning
             # still applies at the batcher level.
             options = {key: options[key] for key in ("max_queue", "run_in_executor")}
+        if group is not None:
+            options["dispatch"] = group.infer
+            options["shed_retry"] = group.rescue
+            # One outstanding batch per replica: full fleet utilization,
+            # backpressure past that.
+            options["max_concurrent_dispatches"] = max(1, len(group))
         return DynamicBatcher(
             session,
             policy=policy,
@@ -202,18 +364,59 @@ class InferenceServer:
     # Lifecycle
     # ------------------------------------------------------------------ #
     async def start(self) -> "InferenceServer":
-        """Spawn a batcher worker per registered model."""
+        """Spawn a batcher worker per registered model.
+
+        Cluster models spawn their replica worker processes first (in the
+        thread-pool executor, concurrently across groups, so the event
+        loop stays responsive while sessions compile in the children).
+        A startup failure is terminal for the *server*: every group --
+        including siblings whose workers did spawn -- is closed before
+        the error propagates, so nothing leaks even when ``async with
+        server`` never reaches ``__aexit__``.  Build a fresh server to
+        retry.
+        """
         if self._closed:
             raise ServerClosedError("server is stopped")
         if not self._started:
+            # Loop until no group is left unstarted: add_model may land a
+            # *new* cluster model while a spawn gather is awaited, and it
+            # only starts groups itself once self._started is True.  The
+            # final no-pending check runs with no await before the flag
+            # flips, so nothing can slip between.
+            while True:
+                pending = [group for group in self._groups.values() if not group.started]
+                if not pending:
+                    break
+                loop = asyncio.get_running_loop()
+                outcomes = await asyncio.gather(
+                    *(loop.run_in_executor(None, group.start) for group in pending),
+                    return_exceptions=True,
+                )
+                failures = [outcome for outcome in outcomes if isinstance(outcome, BaseException)]
+                if failures:
+                    self._closed = True
+                    await asyncio.gather(
+                        *(loop.run_in_executor(None, group.close) for group in self._groups.values()),
+                        return_exceptions=True,
+                    )
+                    self._groups.clear()
+                    raise failures[0]
             self._started = True
-            for name in self.registry.names():
+            names = list(self.registry.names())
+            names.extend(name for name in self._groups if name not in names)
+            for name in names:
                 if name not in self._batchers:
                     self._batchers[name] = self._make_batcher(name).start()
         return self
 
     async def stop(self) -> None:
-        """Drain every batcher and refuse further requests."""
+        """Drain every batcher, terminate replica workers, refuse new requests.
+
+        Draining means no accepted request is dropped: everything already
+        queued runs (or is settled by its policy/rescue path) before the
+        batchers join, and only then are cluster worker processes
+        stopped.
+        """
         if self._closed:
             return
         self._closed = True
@@ -221,6 +424,15 @@ class InferenceServer:
         batchers = list(self._batchers.values())
         self._batchers.clear()
         await asyncio.gather(*(batcher.stop() for batcher in batchers))
+        groups = list(self._groups.values())
+        self._groups.clear()
+        if groups:
+            loop = asyncio.get_running_loop()
+            await asyncio.gather(*(loop.run_in_executor(None, group.close) for group in groups))
+
+    async def close(self) -> None:
+        """Graceful shutdown: alias of :meth:`stop` (drain, then terminate)."""
+        await self.stop()
 
     async def __aenter__(self) -> "InferenceServer":
         return await self.start()
@@ -261,8 +473,12 @@ class InferenceServer:
         if results:
             return np.stack(results, axis=0)
         # Preserve the engine's empty-batch output shape ((0, C) / (0, N, N))
-        # when the session can tell us what an empty request batch looks like.
-        session = self.registry.get(name)
+        # when the session can tell us what an empty request batch looks
+        # like.  Prefer the live batcher's session: a model the LRU
+        # registry evicted keeps serving through its batcher, and an
+        # empty burst must not be the one call that raises.
+        batcher = self._batchers.get(name)
+        session = batcher.session if batcher is not None else self.registry.get(name)
         shape = getattr(session, "input_shape", None)
         if shape is not None:
             return session.run(np.empty((0, *shape)))
@@ -276,12 +492,22 @@ class InferenceServer:
 
         Each :class:`~repro.serve.metrics.BatcherStats` carries fusion
         counters (``batches``, ``mean_batch_size``), rejection counters
-        (``rejected`` for overload, ``deadline_missed`` for SLO sheds)
+        (``rejected`` for overload, ``deadline_missed`` for SLO sheds,
+        ``shed_retried``/``shed_recovered`` for the cluster rescue path)
         and sliding-window latency percentiles with a queue-wait vs
         compute breakdown -- ``.as_dict()`` gives a flat JSON-friendly
-        snapshot for dashboards.
+        snapshot for dashboards.  Models running on a replica group
+        additionally carry the group's per-replica breakdown
+        (``.replicas``: in-flight depth, EWMA latency, restarts per
+        worker process).
         """
-        return {name: batcher.stats() for name, batcher in self._batchers.items()}
+        snapshot: Dict[str, BatcherStats] = {}
+        for name, batcher in self._batchers.items():
+            stats = batcher.stats()
+            group = self._groups.get(name)
+            stats.replicas = group.stats() if group is not None else None
+            snapshot[name] = stats
+        return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else ("started" if self._started else "idle")

@@ -232,6 +232,107 @@ class TestSessionRegistry:
             registry.register("digits", object())
 
 
+class TestRegistryLRUEviction:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="max_models"):
+            SessionRegistry(max_models=0)
+
+    def test_least_recently_used_is_evicted_first(self):
+        registry = SessionRegistry(max_models=2)
+        registry.register("a", FakeSession())
+        registry.register("b", FakeSession())
+        registry.get("a")  # refresh: "b" is now the LRU entry
+        registry.register("c", FakeSession())
+        assert registry.last_evicted == ("b",)
+        assert set(registry.names()) == {"a", "c"}
+        with pytest.raises(UnknownModelError):
+            registry.get("b")
+
+    def test_registration_counts_as_use(self):
+        registry = SessionRegistry(max_models=2)
+        registry.register("a", FakeSession())
+        registry.register("b", FakeSession())
+        registry.register("c", FakeSession())  # evicts "a" (oldest untouched)
+        assert registry.last_evicted == ("a",)
+        registry.register("d", FakeSession())  # evicts "b"
+        assert registry.last_evicted == ("b",)
+        assert set(registry.names()) == {"c", "d"}
+
+    def test_replace_never_evicts(self):
+        registry = SessionRegistry(max_models=2)
+        registry.register("a", FakeSession())
+        registry.register("b", FakeSession())
+        registry.register("a", FakeSession(), replace=True)
+        assert registry.last_evicted == ()
+        assert set(registry.names()) == {"a", "b"}
+
+    def test_in_flight_requests_on_evicted_model_complete(self, small_config, rng):
+        """Eviction drops the registry reference only: a live batcher keeps
+        serving (and finishing) traffic for the evicted model."""
+        registry = SessionRegistry(max_models=1)
+        server = InferenceServer(registry=registry, max_wait_ms=1.0)
+        first = server.add_model("first", DONN(small_config))
+        image = rng.uniform(size=small_config.grid.shape)
+        expected = first.run(image[None])[0]
+
+        async def scenario():
+            async with server:
+                pending = asyncio.ensure_future(server.submit("first", image))
+                await asyncio.sleep(0)  # in flight before the eviction lands
+                server.add_model("second", DONN(small_config))  # evicts "first"
+                assert registry.last_evicted == ("first",)
+                result = await pending
+                # Even brand-new requests still serve: the batcher holds its
+                # own session reference.
+                again = await server.submit("first", image)
+                return result, again
+
+        result, again = asyncio.run(scenario())
+        np.testing.assert_allclose(result, expected, atol=1e-10)
+        np.testing.assert_allclose(again, expected, atol=1e-10)
+
+    def test_empty_burst_on_evicted_model_uses_live_batcher(self, small_config):
+        """submit_many(name, []) must not fail just because the LRU
+        registry dropped its reference while the batcher stays live."""
+        registry = SessionRegistry(max_models=1)
+        server = InferenceServer(registry=registry)
+        server.add_model("first", DONN(small_config))
+
+        async def scenario():
+            async with server:
+                server.add_model("second", DONN(small_config))  # evicts "first"
+                return await server.submit_many("first", [])
+
+        empty = asyncio.run(scenario())
+        assert empty.shape == (0, small_config.num_classes)
+
+    def test_eviction_prunes_server_bookkeeping_for_idle_names(self, small_config):
+        """On a not-started server, an evicted name must not keep growing
+        the server's per-model override/policy tables."""
+        registry = SessionRegistry(max_models=1)
+        server = InferenceServer(registry=registry)
+        for index in range(4):
+            server.add_model(f"model-{index}", DONN(small_config), max_batch=4)
+        assert set(server._overrides) == {"model-3"}
+        assert set(server._policies) == {"model-3"}
+
+    def test_reregistering_evicted_live_name_is_refused(self, small_config):
+        """A name evicted from the registry but still live on a started
+        server must not silently get a second batcher (the first would
+        leak); re-registration is refused like any live replace."""
+        registry = SessionRegistry(max_models=1)
+        server = InferenceServer(registry=registry)
+        server.add_model("first", DONN(small_config))
+
+        async def scenario():
+            async with server:
+                server.add_model("second", DONN(small_config))  # evicts "first"
+                with pytest.raises(RuntimeError, match="live model"):
+                    server.add_model("first", DONN(small_config))
+
+        asyncio.run(scenario())
+
+
 class TestInferenceServer:
     def test_multi_tenant_serving_matches_direct_engine_calls(self, small_config, rng):
         """All three model families serve concurrently with correct routing."""
