@@ -39,6 +39,7 @@ import numpy as np
 from _bench_helpers import report, save_results
 from loadgen import run_metadata
 from repro import DONN, DONNConfig
+from repro.engine import compile as engine_compile
 from repro.serve import InferenceServer
 
 #: Payload-content seed; recorded in the committed results JSON.
@@ -80,7 +81,7 @@ def _build_session():
         seed=1,
     )
     model = DONN(config)
-    return model, model.export_session(batch_size=MAX_BATCH, dtype=DTYPE)
+    return model, engine_compile(model, batch_size=MAX_BATCH, dtype=DTYPE)
 
 
 def _make_requests(rng) -> np.ndarray:

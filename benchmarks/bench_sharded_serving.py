@@ -47,6 +47,7 @@ import numpy as np
 from _bench_helpers import cli_value, report, save_results
 from loadgen import run_metadata, run_open_loop, usable_cores
 from repro import DONN, DONNConfig
+from repro.engine import compile as engine_compile
 from repro.serve import FixedWindowPolicy, InferenceServer
 
 SMOKE = bool(int(os.environ.get("SHARDED_BENCH_SMOKE", "0"))) or "--smoke" in sys.argv
@@ -87,7 +88,7 @@ def _build_session():
         num_classes=10,
         seed=1,
     )
-    return DONN(config).export_session(batch_size=64, dtype="complex128")
+    return engine_compile(DONN(config), batch_size=64, dtype="complex128")
 
 
 def _measure_capacity(session) -> float:

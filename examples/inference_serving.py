@@ -19,7 +19,7 @@ import numpy as np
 
 from repro import DONNConfig, Trainer, load_digits
 from repro.baselines.regularization import build_regularized_donn
-from repro.engine import available_backends
+from repro.engine import available_backends, compile as engine_compile
 from repro.train import evaluate_classifier
 
 
@@ -34,11 +34,14 @@ def main() -> None:
     trainer = Trainer(model, num_classes=10, learning_rate=0.5, batch_size=50, seed=0)
     trainer.fit(train_x, train_y, epochs=4)
 
-    # 2. Compile it for serving.  The session snapshots every diffraction
-    #    kernel, phase mask and detector mask once; FFTs dispatch through
-    #    scipy (threaded) when installed, numpy otherwise.
-    session = model.export_session(batch_size=64)
+    # 2. Compile it for serving: lower to the plan IR, run the
+    #    optimization passes, emit over the FFT backend (scipy threaded
+    #    when installed, numpy otherwise).
+    session = engine_compile(model, batch_size=64)
+    summary = session.plan_summary()
     print(f"compiled {session!r} (backends available: {', '.join(available_backends())})")
+    print(f"plan: {summary['fft_ops_before']} FFT ops -> {summary['fft_ops_after']} "
+          f"after passes {summary['passes']}")
 
     # 3. Stream a "traffic burst" through it in chunks, then check the
     #    answers against the autograd path.

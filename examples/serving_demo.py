@@ -23,6 +23,7 @@ import time
 import numpy as np
 
 from repro import DONN, DONNConfig, MultiChannelDONN, SegmentationDONN
+from repro.engine import compile as engine_compile
 from repro.serve import (
     DeadlineExceededError,
     InferenceServer,
@@ -87,7 +88,7 @@ async def main() -> None:
 
         # Backpressure is explicit: a tiny queue overflows loudly instead
         # of buffering unboundedly or deadlocking.
-        server.add_model("tiny-queue", digits.export_session(), max_queue=4, max_batch=1)
+        server.add_model("tiny-queue", engine_compile(digits), max_queue=4, max_batch=1)
         flood = [server.submit("tiny-queue", image) for image in digit_images]
         answers = await asyncio.gather(*flood, return_exceptions=True)
         overloaded = sum(isinstance(a, ServerOverloadedError) for a in answers)
@@ -98,7 +99,7 @@ async def main() -> None:
         # deadline, sizes batches from an online latency model so p99
         # stays inside the budget, and sheds requests that already
         # missed instead of computing answers nobody can use.
-        server.add_model("digits-slo", digits.export_session(), policy=SLOAwarePolicy(slo_ms=50.0))
+        server.add_model("digits-slo", engine_compile(digits), policy=SLOAwarePolicy(slo_ms=50.0))
         burst = await asyncio.gather(
             *(server.submit("digits-slo", image) for image in digit_images), return_exceptions=True
         )

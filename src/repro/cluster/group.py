@@ -51,7 +51,7 @@ class ReplicaGroup:
     ----------
     spec:
         The :class:`~repro.engine.SessionSpec` every worker builds its
-        session from (``model.export_session(...).to_spec()`` or
+        session from (``repro.engine.compile(model).to_spec()`` or
         ``SessionSpec.from_model(model, ...)``).
     replicas:
         Worker-process count.

@@ -1,45 +1,45 @@
 """Autograd-free batched inference for trained DONN systems.
 
 Training needs the tape-based :class:`~repro.autograd.tensor.Tensor`
-machinery; serving does not.  :class:`InferenceSession` compiles a trained
-model once into a flat numerical program:
+machinery; serving does not.  :func:`compile` — the engine's one front
+door — runs a trained model through an explicit three-stage pipeline:
 
-* every propagator's diffraction transfer function (and the Fraunhofer
-  prefactor) is captured as a plain complex ndarray;
-* every layer's phase modulation is snapshotted in eval mode (continuous
-  phases for ``DiffractiveLayer``, the deterministic softmax expectation
-  over device levels for ``CodesignDiffractiveLayer``);
-* every :class:`~repro.layers.nonlinearity.NonlinearLayer` is baked in as
-  its point-wise ndarray map (``apply_numpy``);
-* the detector's region masks are flattened into one read-out matrix.
+1. **lower** (:mod:`repro.engine.plan`): snapshot the model in eval mode
+   into a :class:`~repro.engine.plan.Plan` of typed ops — every
+   diffraction transfer function, phase modulation, Fraunhofer
+   prefactor and detector read-out matrix captured as plain ndarrays;
+2. **optimize** (:mod:`repro.engine.passes`): fuse adjacent multiplies,
+   cancel inverse/forward FFT pairs, drop all-ones kernels, and — for
+   nonlinearity-free classifiers — collapse the whole cascade into one
+   precomputed input→detector operator pair;
+3. **emit**: close the optimized ops over the FFT backend into the flat
+   numpy program an :class:`InferenceSession` streams batches through.
 
-The forward pass is then raw batched FFTs and in-place elementwise
-products -- no ``Tensor`` wrapping, no graph bookkeeping -- streamed over
-arbitrarily large inputs in configurable batch chunks.  At the default
-``dtype="complex128"`` outputs match the autograd eval path to
-``atol=1e-10``; the opt-in ``dtype="complex64"`` mode halves the memory
-footprint of every cached kernel and intermediate, trading exactness for
-a documented accuracy budget of :data:`COMPLEX64_LOGIT_ATOL` on detector
-logits (see ``tests/test_engine.py``).
+The session itself is a thin executor: batching, chunk streaming, and
+introspection (:meth:`InferenceSession.plan_summary` reports op counts
+before/after the passes).  At the default ``dtype="complex128"`` outputs
+match the autograd eval path to ``atol=1e-10``; the opt-in
+``dtype="complex64"`` mode halves the memory footprint of every cached
+kernel and intermediate, trading exactness for a documented accuracy
+budget of :data:`COMPLEX64_LOGIT_ATOL` on detector logits (see
+``tests/test_engine.py``).
+
+Constructing ``InferenceSession(model, ...)`` directly still works but
+is deprecated; it is the same pipeline with a ``DeprecationWarning`` on
+the way in.
 """
 
 from __future__ import annotations
 
 import pickle
-from typing import Callable, List, Optional
+import warnings
+from typing import Callable, Optional
 
 import numpy as np
 
-from repro.autograd import no_grad
 from repro.engine.backends import get_fft_backend
-from repro.layers.encoding import data_to_cplex
-from repro.layers.nonlinearity import NonlinearLayer
-from repro.models.donn import DONN
-from repro.models.multichannel import MultiChannelDONN
-from repro.models.segmentation import SegmentationDONN
-from repro.optics.propagation import FraunhoferPropagator, Propagator
-
-FieldFn = Callable[[np.ndarray], np.ndarray]
+from repro.engine.plan import Plan, emit, lower
+from repro.engine.passes import OPTIMIZE_LEVELS, optimize_plan
 
 #: Accuracy budget of the reduced-precision engine: with
 #: ``dtype="complex64"`` the detector logits (and segmentation intensity
@@ -55,231 +55,19 @@ def _resolve_complex_dtype(dtype) -> np.dtype:
     return resolved
 
 
-def _compile_propagator(propagator: Propagator, fft, cdtype: np.dtype) -> FieldFn:
-    """Bake one propagator into a closure over cached kernel arrays."""
-    if isinstance(propagator, FraunhoferPropagator):
-        prefactor = np.ascontiguousarray(propagator._prefactor_tensor().data).astype(cdtype, copy=False)
-
-        def apply_fraunhofer(field: np.ndarray) -> np.ndarray:
-            shifted = np.fft.ifftshift(field, axes=(-2, -1))
-            spectrum = np.fft.fftshift(fft.fft2(shifted), axes=(-2, -1))
-            spectrum *= prefactor
-            return spectrum
-
-        return apply_fraunhofer
-
-    transfer = np.ascontiguousarray(propagator.transfer_function).astype(cdtype, copy=False)
-    pad = (propagator._work_grid.size - propagator.grid.size) // 2
-
-    def apply(field: np.ndarray) -> np.ndarray:
-        if pad:
-            widths = [(0, 0)] * (field.ndim - 2) + [(pad, pad), (pad, pad)]
-            field = np.pad(field, widths, mode="constant")
-        spectrum = fft.fft2(field)
-        spectrum *= transfer
-        out = fft.ifft2(spectrum)
-        if pad:
-            out = out[..., pad:-pad, pad:-pad]
-        return out
-
-    return apply
-
-
-def _snapshot_modulation(layer, cdtype: np.dtype) -> np.ndarray:
-    """Eval-mode complex modulation of a diffractive layer as an ndarray."""
-    with no_grad():
-        return np.ascontiguousarray(layer.modulation().data).astype(cdtype, copy=False)
-
-
-def _compile_layer(layer, fft, cdtype: np.dtype) -> FieldFn:
-    propagate = _compile_propagator(layer.propagator, fft, cdtype)
-    modulation = _snapshot_modulation(layer, cdtype)
-
-    def step(field: np.ndarray) -> np.ndarray:
-        field = propagate(field)
-        field *= modulation
-        return field
-
-    return step
-
-
-def _compile_nonlinearity(nonlinearity) -> FieldFn:
-    if isinstance(nonlinearity, NonlinearLayer) or hasattr(nonlinearity, "apply_numpy"):
-        return nonlinearity.apply_numpy
-    raise TypeError(
-        f"cannot compile nonlinearity {type(nonlinearity).__name__}: "
-        "engine compilation needs a NonlinearLayer (or any module exposing apply_numpy)"
-    )
-
-
-def _compile_stack(layers, fft, cdtype: np.dtype, nonlinearity=None) -> List[FieldFn]:
-    """Diffractive layers (+ optional interleaved nonlinearity) as a step list."""
-    nonlinear_step = _compile_nonlinearity(nonlinearity) if nonlinearity is not None else None
-    steps: List[FieldFn] = []
-    for layer in layers:
-        steps.append(_compile_layer(layer, fft, cdtype))
-        if nonlinear_step is not None:
-            steps.append(nonlinear_step)
-    return steps
-
-
-def _apply_stack(field: np.ndarray, steps: List[FieldFn]) -> np.ndarray:
-    for step in steps:
-        field = step(field)
-    return field
-
-
-def _intensity(field: np.ndarray) -> np.ndarray:
-    return (field * np.conj(field)).real
-
-
-def _read_intensity(intensity: np.ndarray, read_matrix: np.ndarray) -> np.ndarray:
-    """Flattened intensity -> per-class logits via the detector read matrix."""
-    pixels = intensity.shape[-2] * intensity.shape[-1]
-    flat = intensity.reshape(intensity.shape[:-2] + (pixels,))
-    return flat @ read_matrix
-
-
-class _DONNProgram:
-    """Compiled single-stack classifier (mirrors :class:`DONN.forward`)."""
-
-    kind = "classifier"
-
-    def __init__(self, model: DONN, fft, cdtype: np.dtype):
-        config = model.config
-        self.grid = config.grid
-        self.cdtype = cdtype
-        self.rdtype = np.dtype(np.float32 if cdtype == np.complex64 else np.float64)
-        self.amplitude_factor = config.amplitude_factor
-        self.steps = _compile_stack(model.diffractive_layers, fft, cdtype, model.nonlinearity)
-        self.final = _compile_propagator(model.final_propagator, fft, cdtype)
-        self.num_outputs = model.detector.num_classes
-        # (N*N, C): logits = intensity_flat @ read_matrix.
-        self.read_matrix = np.ascontiguousarray(model.detector.read_matrix()).astype(self.rdtype, copy=False)
-
-    def encode(self, images: np.ndarray) -> np.ndarray:
-        field = np.asarray(
-            data_to_cplex(images, grid=self.grid, amplitude_factor=self.amplitude_factor).data
-        )
-        return field.astype(self.cdtype, copy=False)
-
-    def detector_field(self, images: np.ndarray) -> np.ndarray:
-        field = _apply_stack(self.encode(images), self.steps)
-        return self.final(field)
-
-    def intensity(self, images: np.ndarray) -> np.ndarray:
-        return _intensity(self.detector_field(images))
-
-    def read(self, intensity: np.ndarray) -> np.ndarray:
-        return _read_intensity(intensity, self.read_matrix)
-
-    def run(self, images: np.ndarray) -> np.ndarray:
-        return self.read(self.intensity(images))
-
-
-class _MultiChannelProgram:
-    """Compiled multi-channel classifier (incoherent detector sum)."""
-
-    kind = "classifier"
-
-    def __init__(self, model: MultiChannelDONN, fft, cdtype: np.dtype):
-        config = model.config
-        self.grid = config.grid
-        self.cdtype = cdtype
-        self.rdtype = np.dtype(np.float32 if cdtype == np.complex64 else np.float64)
-        self.amplitude_factor = config.amplitude_factor
-        self.num_channels = model.num_channels
-        self.channel_scale = model._channel_scale
-        self.channels = [
-            _compile_stack(channel, fft, cdtype, model.nonlinearity) for channel in model.channels
-        ]
-        self.final = _compile_propagator(model.final_propagator, fft, cdtype)
-        self.num_outputs = model.detector.num_classes
-        self.read_matrix = np.ascontiguousarray(model.detector.read_matrix()).astype(self.rdtype, copy=False)
-
-    def intensity(self, rgb: np.ndarray) -> np.ndarray:
-        if rgb.shape[-3] != self.num_channels:
-            raise ValueError(f"expected {self.num_channels} channels, got {rgb.shape[-3]}")
-        total: Optional[np.ndarray] = None
-        for index, steps in enumerate(self.channels):
-            field = np.asarray(
-                data_to_cplex(
-                    rgb[..., index, :, :], grid=self.grid, amplitude_factor=self.amplitude_factor
-                ).data
-            ).astype(self.cdtype, copy=False)
-            field *= self.channel_scale
-            field = self.final(_apply_stack(field, steps))
-            channel_intensity = _intensity(field)
-            total = channel_intensity if total is None else total + channel_intensity
-        return total
-
-    def read(self, intensity: np.ndarray) -> np.ndarray:
-        return _read_intensity(intensity, self.read_matrix)
-
-    def run(self, rgb: np.ndarray) -> np.ndarray:
-        return self.read(self.intensity(rgb))
-
-
-class _SegmentationProgram:
-    """Compiled image-to-image DONN (eval mode: raw output intensity)."""
-
-    kind = "segmentation"
-
-    def __init__(self, model: SegmentationDONN, fft, cdtype: np.dtype):
-        config = model.config
-        self.grid = config.grid
-        self.cdtype = cdtype
-        self.amplitude_factor = config.amplitude_factor
-        nonlinearity = model.nonlinearity
-        self.entry = _compile_stack([model.entry_layer], fft, cdtype, nonlinearity)
-        inner_layers = model.inner.body if model.use_skip else model.inner
-        self.inner = _compile_stack(inner_layers, fft, cdtype, nonlinearity)
-        self.exit = _compile_stack([model.exit_layer], fft, cdtype, nonlinearity)
-        self.final = _compile_propagator(model.final_propagator, fft, cdtype)
-        self.use_skip = model.use_skip
-        if model.use_skip:
-            skip_weight = model.inner.skip_weight
-            self.through_amplitude = float(np.sqrt(1.0 - skip_weight))
-            self.bypass_amplitude = float(np.sqrt(skip_weight))
-
-    def intensity(self, images: np.ndarray) -> np.ndarray:
-        field = np.asarray(
-            data_to_cplex(images, grid=self.grid, amplitude_factor=self.amplitude_factor).data
-        ).astype(self.cdtype, copy=False)
-        field = _apply_stack(field, self.entry)
-        if self.use_skip:
-            processed = _apply_stack((field * self.through_amplitude).astype(self.cdtype, copy=False), self.inner)
-            field = processed + (field * self.bypass_amplitude).astype(self.cdtype, copy=False)
-        else:
-            field = _apply_stack(field, self.inner)
-        field = _apply_stack(field, self.exit)
-        return _intensity(self.final(field))
-
-    def run(self, images: np.ndarray) -> np.ndarray:
-        return self.intensity(images)
-
-
-def _compile(model, fft, cdtype: np.dtype):
-    if isinstance(model, SegmentationDONN):
-        return _SegmentationProgram(model, fft, cdtype)
-    if isinstance(model, MultiChannelDONN):
-        return _MultiChannelProgram(model, fft, cdtype)
-    if isinstance(model, DONN):
-        return _DONNProgram(model, fft, cdtype)
-    raise TypeError(
-        f"cannot compile {type(model).__name__}; expected DONN, MultiChannelDONN or SegmentationDONN"
-    )
-
-
 class InferenceSession:
     """A trained DONN compiled for batched, autograd-free serving.
+
+    Build sessions with :func:`repro.engine.compile`; the direct
+    ``InferenceSession(model, ...)`` constructor is deprecated (it still
+    works, running the identical pipeline, but warns).
 
     Parameters
     ----------
     model:
         A (trained) :class:`DONN`, :class:`MultiChannelDONN` or
         :class:`SegmentationDONN`.  The model is snapshotted in eval mode
-        at construction; its train/eval mode is restored afterwards and
+        at compile time; its train/eval mode is restored afterwards and
         later parameter updates do **not** propagate into the session
         (rebuild or call :meth:`refresh` to pick them up).
     batch_size:
@@ -295,12 +83,16 @@ class InferenceSession:
         ``"complex64"``: reduced-precision mode that halves cached-kernel
         and intermediate memory for memory-bound sizes, accurate to
         :data:`COMPLEX64_LOGIT_ATOL` on detector logits.
+    optimize:
+        Pass level: ``"full"`` (default; local rewrites plus cascade
+        collapse), ``"fuse"`` (local rewrites only) or ``"none"``
+        (emit the lowered plan verbatim).
 
     Raises
     ------
     ValueError
-        For ``batch_size < 1``, an unknown ``dtype``, or an unknown
-        ``backend`` name.
+        For ``batch_size < 1``, an unknown ``dtype``, an unknown
+        ``backend`` name, or an unknown ``optimize`` level.
     TypeError
         When ``model`` is not one of the three compilable families, or a
         configured nonlinearity does not expose ``apply_numpy``.
@@ -325,33 +117,84 @@ class InferenceSession:
         backend: str = "auto",
         workers: Optional[int] = None,
         dtype="complex128",
+        optimize: str = "full",
     ):
+        warnings.warn(
+            "direct InferenceSession(model, ...) construction is deprecated; "
+            "use repro.engine.compile(model, ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._init(
+            model,
+            batch_size=batch_size,
+            backend=backend,
+            workers=workers,
+            dtype=dtype,
+            optimize=optimize,
+            max_operator_bytes=None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # The compile pipeline (shared by compile(), the deprecated
+    # constructor, spec.build() and refresh())
+    # ------------------------------------------------------------------ #
+    def _init(
+        self,
+        model,
+        *,
+        batch_size: int,
+        backend: str,
+        workers: Optional[int],
+        dtype,
+        optimize: str,
+        max_operator_bytes: Optional[int],
+    ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if optimize not in OPTIMIZE_LEVELS:
+            raise ValueError(f"optimize must be one of {OPTIMIZE_LEVELS}, got {optimize!r}")
         self.batch_size = int(batch_size)
         self.dtype = _resolve_complex_dtype(dtype)
+        self.optimize = optimize
         self.fft = get_fft_backend(backend, workers=workers)
+        self._max_operator_bytes = max_operator_bytes
         self._model = model
-        self._program = self._snapshot(model)
+        self._recompile()
 
-    def _snapshot(self, model):
+    def _recompile(self) -> None:
+        """Lower → optimize → emit from the model's *current* parameters.
+
+        This is the one code path for cold start and :meth:`refresh`:
+        both snapshot the live model into a fresh plan, re-run the
+        passes, and swap the emitted program in.
+        """
+        model = self._model
+        if not hasattr(model, "training"):
+            lower(model, self.dtype)  # raises the canonical TypeError for non-compilable objects
         was_training = model.training
         model.eval()
         try:
-            with no_grad():
-                program = _compile(model, self.fft, self.dtype)
-                # Captured *here*, not in to_spec(): the spec must rebuild
-                # the parameters this program compiled, and the model may
-                # train on after the snapshot (that is why refresh()
-                # exists).  Pickling at snapshot time keeps spec and
-                # program in lock-step.
-                try:
-                    self._model_blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
-                except Exception:
-                    self._model_blob = None  # unpicklable model: to_spec() will refuse
-                return program
+            raw_plan = lower(model, self.dtype)
+            # Captured *here*, not in to_spec(): the spec must rebuild
+            # the parameters this program compiled, and the model may
+            # train on after the snapshot (that is why refresh()
+            # exists).  Pickling at snapshot time keeps spec and
+            # program in lock-step.
+            try:
+                self._model_blob = pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                self._model_blob = None  # unpicklable model: to_spec() will refuse
         finally:
             model.train(was_training)
+        plan, report = optimize_plan(
+            raw_plan, self.optimize, fft=self.fft, max_operator_bytes=self._max_operator_bytes
+        )
+        self._raw_plan = raw_plan
+        self._plan = plan
+        self._pass_report = report
+        self._reference_program = None  # lazy full-plane program for collapsed plans
+        self._program = emit(plan, self.fft)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -366,16 +209,51 @@ class InferenceSession:
         return self.fft.name
 
     @property
+    def plan(self) -> Plan:
+        """The optimized plan the session's program was emitted from."""
+        return self._plan
+
+    @property
+    def unoptimized_plan(self) -> Plan:
+        """The plan as lowered from the model, before any passes."""
+        return self._raw_plan
+
+    def plan_summary(self) -> dict:
+        """Op counts and pass report: what the optimizer did to the plan.
+
+        Returns a dict with ``ops_before``/``ops_after`` (op counts by
+        type), ``fft_ops_before``/``fft_ops_after`` (FFT+IFFT totals),
+        ``passes`` (which rewrites fired), ``collapsed`` (whether the
+        cascade folded to a precomputed operator) and ``optimize`` (the
+        requested level).
+        """
+        report = self._pass_report
+        return {
+            "optimize": report["optimize"],
+            "ops_before": dict(report["ops_before"]),
+            "ops_after": dict(report["ops_after"]),
+            "fft_ops_before": report["fft_ops_before"],
+            "fft_ops_after": report["fft_ops_after"],
+            "passes": list(report["passes"]),
+            "collapsed": report["collapsed"],
+        }
+
+    @property
     def input_shape(self):
         """Expected per-request input shape (used by ``repro.serve``)."""
         shape = self._program.grid.shape
-        if isinstance(self._program, _MultiChannelProgram):
+        if self._program.expects_channels:
             return (self._program.num_channels,) + shape
         return shape
 
     def refresh(self) -> "InferenceSession":
-        """Re-snapshot the model's current parameters into the session."""
-        self._program = self._snapshot(self._model)
+        """Re-compile from the model's current parameters.
+
+        Runs the identical lower→optimize→emit pipeline as cold start
+        (:func:`compile`), so refreshed sessions and freshly compiled
+        ones are the same artifact.
+        """
+        self._recompile()
         return self
 
     def to_spec(self):
@@ -386,7 +264,7 @@ class InferenceSession:
         plus the session options instead, and ``spec.build()`` on the
         other side compiles an identical session.  The model parameters
         in the spec are the ones captured at the last snapshot
-        (construction or :meth:`refresh`) -- training steps taken since
+        (compilation or :meth:`refresh`) -- training steps taken since
         do **not** leak in, so replicas built from the spec match *this*
         session's outputs even when the live model has moved on.  The
         *resolved* backend name is recorded (not ``"auto"``), so the
@@ -408,12 +286,13 @@ class InferenceSession:
             backend=self.backend_name,
             workers=self.fft.workers,
             dtype=self.dtype.name,
+            optimize=self.optimize,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"InferenceSession(kind={self.kind!r}, backend={self.backend_name!r}, "
-            f"batch_size={self.batch_size}, dtype={self.dtype.name!r})"
+            f"batch_size={self.batch_size}, dtype={self.dtype.name!r}, optimize={self.optimize!r})"
         )
 
     # ------------------------------------------------------------------ #
@@ -424,7 +303,7 @@ class InferenceSession:
         # Single-sample semantics mirror the models': MultiChannelDONN
         # promotes (C, H, W) to a batch of one, DONN/SegmentationDONN run
         # an (H, W) sample unbatched.
-        if isinstance(self._program, _MultiChannelProgram):
+        if self._program.expects_channels:
             if array.ndim == 3:
                 array = array[None]
         elif array.ndim == 2:
@@ -472,9 +351,22 @@ class InferenceSession:
         medians = np.median(pattern, axis=(-2, -1), keepdims=True)
         return (pattern >= medians).astype(float)
 
+    def _full_plane_intensity(self) -> Callable[[np.ndarray], np.ndarray]:
+        """Intensity fn over the whole detector plane.
+
+        A collapsed program computes only the read-out pixels, so camera
+        views come from a reference program emitted (lazily, once) from
+        the unoptimized plan — same arrays, full plane.
+        """
+        if self._program.intensity is not None:
+            return self._program.intensity
+        if self._reference_program is None:
+            self._reference_program = emit(self._raw_plan, self.fft)
+        return self._reference_program.intensity
+
     def intensity_patterns(self, images, batch_size: Optional[int] = None) -> np.ndarray:
         """Detector-plane intensity images (what the CMOS camera records)."""
-        return self._batched(images, self._program.intensity, batch_size)
+        return self._batched(images, self._full_plane_intensity(), batch_size)
 
     def read_detector(self, intensity: np.ndarray) -> np.ndarray:
         """Integrate intensity patterns over the per-class detector regions."""
@@ -483,12 +375,83 @@ class InferenceSession:
         return self._program.read(np.asarray(intensity, dtype=self._program.rdtype))
 
 
+def compile(
+    model_or_spec,
+    *,
+    optimize: Optional[str] = None,
+    batch_size: Optional[int] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    dtype=None,
+    max_operator_bytes: Optional[int] = None,
+) -> InferenceSession:
+    """Compile a trained model (or a :class:`SessionSpec`) for inference.
+
+    The engine's front door: lowers the model to a plan, runs the
+    optimization passes at the requested level, and emits an
+    :class:`InferenceSession`.
+
+    Parameters
+    ----------
+    model_or_spec:
+        A :class:`DONN` / :class:`MultiChannelDONN` /
+        :class:`SegmentationDONN`, or a picklable
+        :class:`~repro.engine.SessionSpec` (whose recorded options become
+        the defaults).
+    optimize:
+        ``"full"`` (default), ``"fuse"`` or ``"none"``; see
+        :func:`repro.engine.passes.optimize_plan`.
+    batch_size, backend, workers, dtype:
+        As on :class:`InferenceSession`; ``None`` means "the spec's
+        recorded value" when compiling a spec, the usual default
+        otherwise.
+    max_operator_bytes:
+        Budget for the collapsed cascade operator (``None`` = the
+        passes' 64 MiB default); plans over budget stay in FFT form.
+    """
+    from repro.engine.spec import SessionSpec
+
+    if isinstance(model_or_spec, SessionSpec):
+        spec = model_or_spec
+        model = pickle.loads(spec.model_blob)
+        batch_size = spec.batch_size if batch_size is None else batch_size
+        backend = spec.backend if backend is None else backend
+        workers = spec.workers if workers is None else workers
+        dtype = spec.dtype if dtype is None else dtype
+        optimize = spec.optimize if optimize is None else optimize
+    else:
+        model = model_or_spec
+        batch_size = 64 if batch_size is None else batch_size
+        backend = "auto" if backend is None else backend
+        dtype = "complex128" if dtype is None else dtype
+        optimize = "full" if optimize is None else optimize
+    session = object.__new__(InferenceSession)
+    session._init(
+        model,
+        batch_size=batch_size,
+        backend=backend,
+        workers=workers,
+        dtype=dtype,
+        optimize=optimize,
+        max_operator_bytes=max_operator_bytes,
+    )
+    return session
+
+
 def compile_model(
     model,
     batch_size: int = 64,
     backend: str = "auto",
     workers: Optional[int] = None,
     dtype="complex128",
+    optimize: str = "full",
 ) -> InferenceSession:
-    """Functional alias for :class:`InferenceSession` construction."""
-    return InferenceSession(model, batch_size=batch_size, backend=backend, workers=workers, dtype=dtype)
+    """Functional alias for :func:`compile` (kept for API compatibility)."""
+    return compile(
+        model,
+        batch_size=batch_size,
+        backend=backend,
+        workers=workers,
+        dtype=dtype,
+        optimize=optimize,
+    )

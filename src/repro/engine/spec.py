@@ -4,7 +4,8 @@ A compiled :class:`~repro.engine.InferenceSession` is deliberately *not*
 picklable -- its program is a chain of closures over cached kernel
 arrays.  What crosses a process boundary instead is a
 :class:`SessionSpec`: the pickled trained model plus the session options,
-i.e. everything needed to run ``export_session`` again on the other side.
+i.e. everything needed to run :func:`repro.engine.compile` again on the
+other side.
 ``repro.cluster`` spawns replica workers from exactly this object; each
 worker rebuilds its own session (and its own FFT plan/kernel caches,
 which must live in the worker's address space anyway).
@@ -47,6 +48,7 @@ class SessionSpec:
     backend: str = "auto"
     workers: Optional[int] = None
     dtype: str = "complex128"
+    optimize: str = "full"
 
     @classmethod
     def from_model(
@@ -56,6 +58,7 @@ class SessionSpec:
         backend: str = "auto",
         workers: Optional[int] = None,
         dtype="complex128",
+        optimize: str = "full",
     ) -> "SessionSpec":
         """Snapshot ``model`` (with session options) into a spec.
 
@@ -75,20 +78,14 @@ class SessionSpec:
             backend=str(backend),
             workers=workers,
             dtype=str(dtype),
+            optimize=str(optimize),
         )
 
     def build(self):
-        """Reconstruct the model and compile a fresh session from it."""
-        from repro.engine.session import InferenceSession
+        """Compile a fresh session from the spec (via :func:`repro.engine.compile`)."""
+        from repro.engine.session import compile as engine_compile
 
-        model = pickle.loads(self.model_blob)
-        return InferenceSession(
-            model,
-            batch_size=self.batch_size,
-            backend=self.backend,
-            workers=self.workers,
-            dtype=self.dtype,
-        )
+        return engine_compile(self)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

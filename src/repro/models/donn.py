@@ -146,15 +146,22 @@ class DONN(Module):
     def export_session(
         self, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None, dtype="complex128"
     ):
-        """Compile this model into an autograd-free :class:`InferenceSession`.
+        """Deprecated: use :func:`repro.engine.compile` instead.
 
-        The session snapshots the current trained parameters; retrain and
-        re-export (or ``session.refresh()``) to serve updated weights.
-        ``dtype="complex64"`` opts into the reduced-precision engine mode.
+        Compiles this model into an autograd-free
+        :class:`~repro.engine.InferenceSession` via the same pipeline as
+        ``repro.engine.compile(model, ...)``.
         """
-        from repro.engine import InferenceSession
+        import warnings
 
-        return InferenceSession(self, batch_size=batch_size, backend=backend, workers=workers, dtype=dtype)
+        from repro.engine import compile as engine_compile
+
+        warnings.warn(
+            "model.export_session(...) is deprecated; use repro.engine.compile(model, ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return engine_compile(self, batch_size=batch_size, backend=backend, workers=workers, dtype=dtype)
 
     # ------------------------------------------------------------------ #
     # Introspection used by deployment & visualisation

@@ -123,10 +123,17 @@ class MultiChannelDONN(Module):
     def export_session(
         self, batch_size: int = 64, backend: str = "auto", workers: Optional[int] = None, dtype="complex128"
     ):
-        """Compile this model into an autograd-free :class:`InferenceSession`."""
-        from repro.engine import InferenceSession
+        """Deprecated: use :func:`repro.engine.compile` instead."""
+        import warnings
 
-        return InferenceSession(self, batch_size=batch_size, backend=backend, workers=workers, dtype=dtype)
+        from repro.engine import compile as engine_compile
+
+        warnings.warn(
+            "model.export_session(...) is deprecated; use repro.engine.compile(model, ...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return engine_compile(self, batch_size=batch_size, backend=backend, workers=workers, dtype=dtype)
 
     def phase_patterns(self) -> List[List[np.ndarray]]:
         """Per-channel list of per-layer trained phase patterns."""

@@ -80,6 +80,26 @@ class Propagator:
     def _build_transfer_function(self, grid: SpatialGrid) -> np.ndarray:
         raise NotImplementedError
 
+    # -- pickling ----------------------------------------------------------- #
+    # The transfer function (and the Fraunhofer prefactor) are pure
+    # functions of grid/wavelength/distance, so they are dropped from the
+    # pickle and rebuilt on load.  This keeps SessionSpec blobs -- which
+    # ship a pickled model (with one propagator per layer) to every
+    # cluster replica -- proportional to the *trained parameters*, not to
+    # cached complex kernels.  The rebuild is bit-exact: the kernels are
+    # deterministic numpy expressions of the pickled scalars.
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("transfer_function", None)
+        state.pop("_transfer_tensor", None)
+        state.pop("_cached_prefactor", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.transfer_function = self._build_transfer_function(self._work_grid)
+        self._transfer_tensor = Tensor(self.transfer_function)
+
     # -- public API -------------------------------------------------------- #
     @property
     def wavenumber(self) -> float:

@@ -7,9 +7,9 @@ name-keyed catalogue the server routes requests with.
 
 ``register`` accepts either an already-compiled
 :class:`~repro.engine.InferenceSession` (or any session-like object with
-``run(batch, batch_size=...)``), or a trainable model exposing
-``export_session`` -- in which case it is compiled on the spot with the
-given session options (``dtype="complex64"`` etc.).
+``run(batch, batch_size=...)``), or a trainable model -- in which case it
+is compiled on the spot via :func:`repro.engine.compile` with the given
+session options (``dtype="complex64"`` etc.).
 
 A registry can be capacity-bounded: ``max_models=N`` turns it into an
 LRU cache, so a multi-tenant server that registers models on demand
@@ -47,7 +47,7 @@ class SessionRegistry:
         session options passed with an already-compiled session.
     TypeError
         From :meth:`register` for objects that are neither session-like
-        (``run`` method) nor models (``export_session`` method).
+        (``run`` method) nor compilable models.
     UnknownModelError
         From :meth:`get` / :meth:`unregister` for unregistered names.
 
@@ -71,8 +71,8 @@ class SessionRegistry:
         """Register a session under ``name`` and return it.
 
         ``model_or_session`` is either a session-like object (used as-is;
-        ``session_kwargs`` must then be empty) or a model with
-        ``export_session(**session_kwargs)``.  Under ``max_models``, the
+        ``session_kwargs`` must then be empty) or a model compiled via
+        ``repro.engine.compile(model, **session_kwargs)``.  Under ``max_models``, the
         least-recently-used entries are evicted to make room (never the
         name being registered).
         """
@@ -80,20 +80,29 @@ class SessionRegistry:
             raise ValueError("model name must be a non-empty string")
         if name in self._sessions and not replace:
             raise ValueError(f"model {name!r} is already registered (pass replace=True to swap it)")
-        if hasattr(model_or_session, "export_session"):
-            session = model_or_session.export_session(**session_kwargs)
-        elif callable(getattr(model_or_session, "run", None)):
+        if callable(getattr(model_or_session, "run", None)):
             if session_kwargs:
                 raise ValueError(
-                    f"session options {sorted(session_kwargs)} need a model with export_session; "
+                    f"session options {sorted(session_kwargs)} need a model; "
                     f"{type(model_or_session).__name__} is already a session"
                 )
             session = model_or_session
         else:
-            raise TypeError(
-                f"cannot register {type(model_or_session).__name__}: expected an InferenceSession-like "
-                "object (run method) or a model with export_session()"
-            )
+            from repro.engine import compile as engine_compile
+
+            try:
+                session = engine_compile(model_or_session, **session_kwargs)
+            except TypeError:
+                # Compatibility with duck-typed models outside the three
+                # compilable families: honour their own export hook.
+                if hasattr(model_or_session, "export_session"):
+                    session = model_or_session.export_session(**session_kwargs)
+                else:
+                    raise TypeError(
+                        f"cannot register {type(model_or_session).__name__}: expected an "
+                        "InferenceSession-like object (run method) or a compilable model "
+                        "(repro.engine.compile)"
+                    ) from None
         evicted: List[str] = []
         if self.max_models is not None and name not in self._sessions:
             while len(self._sessions) >= self.max_models:

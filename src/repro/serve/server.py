@@ -55,18 +55,20 @@ def _build_group(model_or_session, replicas: int, router, cluster_options: dict,
 
     session_kwargs = dict(cluster_options.pop("session_kwargs", {}))
     if hasattr(model_or_session, "export_session"):
+        # A trainable model: snapshot it into a spec (replicas then
+        # rebuild their sessions via repro.engine.compile(spec)).
         spec = SessionSpec.from_model(model_or_session, **session_kwargs)
     elif hasattr(model_or_session, "to_spec"):
         if session_kwargs:
             raise ValueError(
-                f"session options {sorted(session_kwargs)} need a model with export_session; "
+                f"session options {sorted(session_kwargs)} need a model; "
                 f"{type(model_or_session).__name__} is already a session"
             )
         spec = model_or_session.to_spec()
     else:
         raise TypeError(
-            f"cannot shard {type(model_or_session).__name__} across replicas: expected a model "
-            "with export_session(), a session with to_spec(), or a ready ReplicaGroup"
+            f"cannot shard {type(model_or_session).__name__} across replicas: expected a "
+            "compilable model, a session with to_spec(), or a ready ReplicaGroup"
         )
     return ReplicaGroup(spec, replicas=replicas, router=router, name=name, **cluster_options)
 
@@ -204,8 +206,8 @@ class InferenceServer:
         ``policy`` (an instance or zero-arg factory) and the batcher
         tuning arguments override the server-wide defaults for this model
         only; remaining ``session_kwargs`` (``dtype``, ``backend``, ...)
-        go to ``export_session`` when a model is given.  Returns the
-        registered session.
+        go to ``repro.engine.compile`` when a model is given.  Returns
+        the registered session.
 
         ``replicas``/``router`` override the server-wide sharding
         defaults: with an effective ``replicas >= 2`` the model is

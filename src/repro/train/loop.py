@@ -123,12 +123,17 @@ class Trainer:
 
 
 def _export_session(model, batch_size: int):
-    """Build an :class:`~repro.engine.InferenceSession` for ``model``."""
-    if hasattr(model, "export_session"):
-        return model.export_session(batch_size=batch_size)
-    from repro.engine import InferenceSession
+    """Compile ``model`` into an :class:`~repro.engine.InferenceSession`."""
+    from repro.engine import compile as engine_compile
 
-    return InferenceSession(model, batch_size=batch_size)
+    try:
+        return engine_compile(model, batch_size=batch_size)
+    except TypeError:
+        # Duck-typed models outside the compilable families: honour
+        # their own export hook.
+        if hasattr(model, "export_session"):
+            return model.export_session(batch_size=batch_size)
+        raise
 
 
 def evaluate_classifier(
