@@ -11,6 +11,13 @@ execution tier below it:
   :class:`~repro.engine.SessionSpec` and serves fused batch calls over a
   pipe, with batch arrays moved through ``multiprocessing.shared_memory``
   (:mod:`repro.cluster.shm`) instead of being pickled.
+* Transports -- the worker conversation is pinned behind the
+  :class:`~repro.cluster.transport.Transport` interface:
+  :class:`LocalTransport` is the pipe+shm child-process path above, and
+  :class:`SocketTransport` speaks the same message schema over
+  length-prefixed TCP frames to a ``repro-worker``
+  (:mod:`repro.cluster.remote`) running on any host --
+  ``ReplicaGroup(spec, replicas=0, workers=["host:7070"])``.
 * :class:`ReplicaGroup` -- owns N such workers for one model,
   health-checks and restarts dead ones, retries failed batches on
   another replica (bounded), and exposes an awaitable ``infer(batch)``
@@ -42,13 +49,19 @@ from repro.cluster.router import (
     Router,
     make_router,
 )
+from repro.cluster.remote import WorkerServer
 from repro.cluster.shm import ShmArena, ShmReader
+from repro.cluster.transport import LocalTransport, SocketTransport, Transport
 from repro.cluster.worker import worker_main
 
 __all__ = [
     "ReplicaGroup",
     "Replica",
     "worker_main",
+    "Transport",
+    "LocalTransport",
+    "SocketTransport",
+    "WorkerServer",
     "Router",
     "RoundRobinRouter",
     "LeastLoadedRouter",

@@ -39,6 +39,7 @@ from repro.cluster.errors import (
 )
 from repro.cluster.replica import Replica
 from repro.cluster.router import ReplicaView, Router, make_router
+from repro.cluster.transport import SocketTransport
 from repro.engine.spec import SessionSpec
 
 __all__ = ["ReplicaGroup"]
@@ -54,7 +55,15 @@ class ReplicaGroup:
         session from (``repro.engine.compile(model).to_spec()`` or
         ``SessionSpec.from_model(model, ...)``).
     replicas:
-        Worker-process count.
+        Local worker-process count (may be 0 when ``workers`` names at
+        least one remote worker).
+    workers:
+        Optional list of ``"host:port"`` addresses of already-running
+        ``repro-worker`` processes (see :mod:`repro.cluster.remote`) to
+        attach over :class:`~repro.cluster.transport.SocketTransport`.
+        Remote replicas take the indices after the local ones and join
+        the same routing/retry/restart machinery -- a restart is simply
+        a reconnect.
     router:
         ``"round_robin"`` / ``"least_loaded"`` / ``"power_of_two_choices"``
         or a ready :class:`~repro.cluster.Router` instance (routers hold
@@ -76,7 +85,8 @@ class ReplicaGroup:
     Raises
     ------
     ValueError
-        For ``replicas < 1``/``max_retries < 0`` or an unknown router.
+        For ``replicas < 0``/``max_retries < 0``, an empty fleet, or an
+        unknown router.
     WorkerStartupError
         From :meth:`start` when a worker cannot build its session.
     ReplicaCrashError / ReplicaTimeoutError
@@ -91,6 +101,7 @@ class ReplicaGroup:
         replicas: int = 2,
         router="round_robin",
         *,
+        workers: Optional[List[str]] = None,
         max_retries: int = 2,
         handicaps: Optional[Dict[int, float]] = None,
         call_timeout_s: float = 60.0,
@@ -98,8 +109,11 @@ class ReplicaGroup:
         start_method: str = "spawn",
         name: str = "",
     ):
-        if replicas < 1:
-            raise ValueError("replicas must be >= 1")
+        workers = list(workers or [])
+        if replicas < 0:
+            raise ValueError("replicas must be >= 0")
+        if replicas + len(workers) < 1:
+            raise ValueError("need at least one replica (local or remote worker)")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         self.spec = spec
@@ -118,6 +132,23 @@ class ReplicaGroup:
             )
             for index in range(int(replicas))
         ]
+        for offset, address in enumerate(workers):
+            index = int(replicas) + offset
+            self._replicas.append(
+                Replica(
+                    spec,
+                    index,
+                    transport=SocketTransport(
+                        spec,
+                        address,
+                        options={"handicap_s": float(handicaps.get(index, 0.0))},
+                        start_timeout_s=start_timeout_s,
+                    ),
+                    handicap_s=float(handicaps.get(index, 0.0)),
+                    call_timeout_s=call_timeout_s,
+                    start_timeout_s=start_timeout_s,
+                )
+            )
         self._lock = threading.Lock()  # in-flight counters + restart flags
         self._restarting: set = set()
         self._started = False

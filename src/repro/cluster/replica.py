@@ -1,47 +1,56 @@
-"""Parent-side handle of one replica worker process.
+"""Parent-side handle of one replica worker.
 
 A :class:`Replica` owns everything one worker needs on the parent side:
-the spawned process, the request pipe, the outbound shared-memory arena,
-the attachment cache for the worker's response arena, and the telemetry
-the routers read (in-flight depth, EWMA wall/compute latency, failure and
-restart counters).
+a :class:`~repro.cluster.transport.Transport` (the spawned process +
+pipe + shared-memory plumbing for :class:`LocalTransport`, a framed TCP
+connection for :class:`SocketTransport`), the request sequencing, and
+the telemetry the routers read (in-flight depth, EWMA wall/compute
+latency, failure and restart counters).  The replica itself is
+transport-agnostic: routing, retry and health semantics are identical
+whether the worker is a child process on this host or a
+``repro-worker`` on another one.
 
 :meth:`call` is deliberately *blocking* -- the group runs it in the
 event loop's thread-pool executor -- and serialized per replica by a
-lock: one pipe, one in-order conversation.  ``in_flight`` (maintained by
-the group around each dispatch) therefore counts queued-plus-running
-calls, which is exactly the depth signal ``least_loaded`` and
-``power_of_two_choices`` balance on.
+lock: one conversation, one in-order exchange.  ``in_flight``
+(maintained by the group around each dispatch) therefore counts
+queued-plus-running calls, which is exactly the depth signal
+``least_loaded`` and ``power_of_two_choices`` balance on.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import threading
 import time
 from typing import Optional
 
 import numpy as np
 
-from repro.cluster.errors import ReplicaCrashError, ReplicaTimeoutError, WorkerStartupError
-from repro.cluster.shm import ShmArena, ShmReader
-from repro.cluster.worker import worker_main
+from repro.cluster.errors import ReplicaCrashError, ReplicaTimeoutError
+from repro.cluster.transport import LocalTransport, Transport
 from repro.engine.spec import SessionSpec
 
 __all__ = ["Replica"]
 
-#: How often the waiting side polls the pipe (also the liveness-check cadence).
+#: How often the waiting side polls the transport (also the liveness-check cadence).
 _POLL_S = 0.02
 
 
 class Replica:
-    """One worker process plus its parent-side plumbing and telemetry."""
+    """One worker conversation plus its parent-side telemetry.
+
+    By default the replica spawns a local child process
+    (:class:`~repro.cluster.transport.LocalTransport`); pass
+    ``transport=SocketTransport(spec, "host:port")`` to drive a
+    ``repro-worker`` on another host instead.
+    """
 
     def __init__(
         self,
         spec: SessionSpec,
         index: int = 0,
         *,
+        transport: Optional[Transport] = None,
         handicap_s: float = 0.0,
         call_timeout_s: float = 60.0,
         start_timeout_s: float = 120.0,
@@ -56,12 +65,16 @@ class Replica:
         self.call_timeout_s = float(call_timeout_s)
         self.start_timeout_s = float(start_timeout_s)
         self._ewma_alpha = float(ewma_alpha)
-        self._ctx = multiprocessing.get_context(start_method)
-        self._lock = threading.Lock()  # serializes pipe access + restart
-        self._proc = None
-        self._conn = None
-        self._requests = ShmArena()
-        self._responses = ShmReader()
+        if transport is None:
+            transport = LocalTransport(
+                spec,
+                index=self.index,
+                options={"handicap_s": self.handicap_s},
+                start_timeout_s=self.start_timeout_s,
+                start_method=start_method,
+            )
+        self.transport = transport
+        self._lock = threading.Lock()  # serializes the conversation + restart
         self._ready = False
         self._seq = 0
         self.meta: Optional[dict] = None
@@ -80,94 +93,38 @@ class Replica:
     # ------------------------------------------------------------------ #
     @property
     def alive(self) -> bool:
-        """Eligible for dispatch: handshaken and the process is running."""
-        return bool(self._ready and self._proc is not None and self._proc.is_alive())
+        """Eligible for dispatch: handshaken and the conversation is up."""
+        return bool(self._ready and self.transport.alive)
 
     @property
     def pid(self) -> Optional[int]:
-        return self._proc.pid if self._proc is not None else None
+        """Worker pid for locally-spawned workers; ``None`` over a socket."""
+        return self.transport.pid
 
     def start(self) -> "Replica":
-        """Spawn the worker and wait for its ``ready`` handshake."""
+        """Bring the worker up (spawn or connect) and record its handshake."""
         with self._lock:
             if self.alive:
                 return self
-            self._spawn_locked()
+            self.meta = self.transport.start()
+            self._ready = True
             return self
 
-    def _spawn_locked(self) -> None:
-        parent_conn, child_conn = self._ctx.Pipe()
-        proc = self._ctx.Process(
-            target=worker_main,
-            args=(child_conn, self.spec, {"handicap_s": self.handicap_s}),
-            name=f"repro-replica-{self.index}",
-            daemon=True,
-        )
-        proc.start()
-        child_conn.close()  # the worker holds the only other end now
-        deadline = time.monotonic() + self.start_timeout_s
-        while not parent_conn.poll(_POLL_S):
-            if not proc.is_alive():
-                parent_conn.close()
-                raise WorkerStartupError(
-                    f"replica {self.index} died during startup (exit code {proc.exitcode})"
-                )
-            if time.monotonic() > deadline:
-                proc.kill()
-                parent_conn.close()
-                raise WorkerStartupError(
-                    f"replica {self.index} did not hand-shake within {self.start_timeout_s:g}s"
-                )
-        message = parent_conn.recv()
-        if message[0] != "ready":
-            detail = message[1] if len(message) > 1 else "?"
-            parent_conn.close()
-            proc.join(timeout=2.0)
-            raise WorkerStartupError(f"replica {self.index} failed to build its session:\n{detail}")
-        self._proc, self._conn, self.meta = proc, parent_conn, message[1]
-        self._ready = True
-
     def restart(self) -> "Replica":
-        """Tear down whatever is left of the worker and spawn a fresh one."""
+        """Tear down whatever is left of the worker and bring up a fresh one."""
         with self._lock:
-            self._teardown_locked(graceful=False)
-            self._spawn_locked()
+            self._ready = False
+            self.transport.close(graceful=False)
+            self.meta = self.transport.start()
+            self._ready = True
             self.restarts += 1
             return self
 
     def close(self) -> None:
-        """Stop the worker (graceful ``stop`` message, then force)."""
+        """Stop the worker conversation (graceful ``stop``, then force)."""
         with self._lock:
-            self._teardown_locked(graceful=True)
-
-    def _teardown_locked(self, graceful: bool) -> None:
-        self._ready = False
-        conn, self._conn = self._conn, None
-        proc, self._proc = self._proc, None
-        if conn is not None:
-            if graceful and proc is not None and proc.is_alive():
-                try:
-                    conn.send(("stop",))
-                except (BrokenPipeError, OSError):
-                    pass
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover - defensive
-                pass
-        if proc is not None:
-            proc.join(timeout=5.0 if graceful else 0.5)
-            if proc.is_alive():
-                proc.kill()
-            proc.join(timeout=5.0)
-            proc.close()
-        # Reclaim the worker's response arena unconditionally.  Only a
-        # worker that processed ``stop`` unlinks its own arena; one that
-        # was already dead at close, crashed mid-call, or had to be
-        # kill()ed never does -- and distinguishing those exit paths
-        # reliably is not worth it when a second unlink is a harmless
-        # FileNotFoundError (swallowed before any tracker message).
-        self._responses.unlink_all()
-        self._requests.close(unlink=True)
+            self._ready = False
+            self.transport.close(graceful=True)
 
     # ------------------------------------------------------------------ #
     # Calls
@@ -180,9 +137,12 @@ class Replica:
             self._seq += 1
             seq = self._seq
             try:
-                self._conn.send(("ping", seq))
+                self.transport.send(("ping", seq))
                 answer = self._recv_locked(time.monotonic() + timeout_s)
             except (ReplicaCrashError, ReplicaTimeoutError):
+                return False
+            except (BrokenPipeError, EOFError, OSError):
+                self._mark_failed_locked("transport broke during ping")
                 return False
             return answer[0] == "pong" and answer[1] == seq
 
@@ -191,8 +151,8 @@ class Replica:
 
         Blocking; safe to invoke from any thread (internally serialized).
 
-        Raises :class:`ReplicaCrashError` when the worker process dies or
-        the pipe breaks mid-call, :class:`ReplicaTimeoutError` when no
+        Raises :class:`ReplicaCrashError` when the worker dies or the
+        transport breaks mid-call, :class:`ReplicaTimeoutError` when no
         answer arrives in time (the replica is marked unready -- the
         group restarts it), and ``RuntimeError`` for an error *answer*
         (the worker stays up; the request itself was at fault).
@@ -205,12 +165,11 @@ class Replica:
             self._seq += 1
             seq = self._seq
             try:
-                ref = self._requests.write(batch)
-                self._conn.send(("run", ref, seq))
+                self.transport.send(("run", batch, seq))
                 answer = self._recv_locked(deadline)
             except (BrokenPipeError, EOFError, OSError) as exc:
-                self._mark_failed_locked(f"pipe broke mid-call: {exc}")
-                raise ReplicaCrashError(f"replica {self.index} pipe broke mid-call") from exc
+                self._mark_failed_locked(f"transport broke mid-call: {exc}")
+                raise ReplicaCrashError(f"replica {self.index} transport broke mid-call") from exc
             kind = answer[0]
             if kind == "err":
                 self.failures += 1
@@ -219,8 +178,7 @@ class Replica:
             if kind != "ok" or answer[1] != seq:  # pragma: no cover - protocol guard
                 self._mark_failed_locked(f"protocol desync (got {kind!r})")
                 raise ReplicaCrashError(f"replica {self.index} answered out of order")
-            _, _, out_ref, compute_s = answer
-            result = self._responses.take(out_ref)
+            _, _, result, compute_s = answer
             wall_s = time.perf_counter() - started
             self.dispatched += 1
             alpha = self._ewma_alpha
@@ -232,9 +190,9 @@ class Replica:
             return result, compute_s
 
     def _recv_locked(self, deadline: float):
-        while not self._conn.poll(_POLL_S):
-            if self._proc is None or not self._proc.is_alive():
-                self._mark_failed_locked("process died mid-call")
+        while not self.transport.poll(_POLL_S):
+            if not self.transport.alive:
+                self._mark_failed_locked("worker died mid-call")
                 raise ReplicaCrashError(f"replica {self.index} died mid-call")
             if time.monotonic() > deadline:
                 # A wedged worker cannot be trusted to answer in order
@@ -244,7 +202,7 @@ class Replica:
                 raise ReplicaTimeoutError(
                     f"replica {self.index} did not answer within the call timeout"
                 )
-        return self._conn.recv()
+        return self.transport.recv()
 
     def _mark_failed_locked(self, reason: str) -> None:
         self._ready = False
@@ -259,6 +217,7 @@ class Replica:
         return {
             "replica": self.index,
             "pid": self.pid,
+            "transport": self.transport.describe(),
             "alive": self.alive,
             "in_flight": self.in_flight,
             "dispatched": self.dispatched,
@@ -272,4 +231,7 @@ class Replica:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "alive" if self.alive else "down"
-        return f"Replica(index={self.index}, pid={self.pid}, {state}, dispatched={self.dispatched})"
+        return (
+            f"Replica(index={self.index}, transport={self.transport.describe()}, "
+            f"{state}, dispatched={self.dispatched})"
+        )

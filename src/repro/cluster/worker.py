@@ -40,7 +40,7 @@ import numpy as np
 from repro.cluster.shm import ShmArena, ShmReader
 from repro.engine.spec import SessionSpec
 
-__all__ = ["worker_main", "probe_session"]
+__all__ = ["worker_main", "probe_session", "run_batch"]
 
 
 def probe_session(session) -> dict:
@@ -60,6 +60,22 @@ def probe_session(session) -> dict:
         "output_item_shape": tuple(warm.shape[1:]),
         "output_dtype": warm.dtype.str,
     }
+
+
+def run_batch(session, batch: np.ndarray, handicap_s: float = 0.0):
+    """One fused call: ``(result, compute_s)`` -- the worker-side hot path.
+
+    Shared by both worker flavors (the pipe+shm child here and the
+    socket-serving :mod:`repro.cluster.remote`) so the measured
+    ``compute_s`` and handicap semantics stay identical across
+    transports.
+    """
+    started = time.perf_counter()
+    result = session.run(batch, batch_size=len(batch) or None)
+    compute_s = time.perf_counter() - started
+    if handicap_s > 0.0:
+        time.sleep(handicap_s)
+    return np.asarray(result), compute_s
 
 
 def worker_main(conn, spec: SessionSpec, options: Optional[dict] = None) -> None:
@@ -113,12 +129,8 @@ def worker_main(conn, spec: SessionSpec, options: Optional[dict] = None) -> None
                 # during encoding, and the parent will not overwrite the
                 # block before it has our response.
                 batch = requests.view(ref)
-                started = time.perf_counter()
-                result = session.run(batch, batch_size=len(batch) or None)
-                compute_s = time.perf_counter() - started
-                if handicap_s > 0.0:
-                    time.sleep(handicap_s)
-                out_ref = responses.write(np.asarray(result))
+                result, compute_s = run_batch(session, batch, handicap_s)
+                out_ref = responses.write(result)
             except Exception:
                 conn.send(("err", seq, traceback.format_exc(limit=8)))
                 continue

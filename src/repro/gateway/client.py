@@ -1,0 +1,201 @@
+"""An asyncio HTTP client for the gateway, with the error mapping inverted.
+
+:class:`GatewayClient` exists for two callers: tests (round-trip the
+full wire format against a live gateway) and the loopback benchmark
+(``benchmarks/bench_gateway.py``), which drives the open-loop Poisson
+load generator through *real* HTTP.  That second caller dictates the
+design:
+
+* **Connection pool.**  Open-loop load fires requests at their scheduled
+  instants regardless of outstanding answers, so the client must run
+  many HTTP exchanges concurrently -- a pool of persistent (keep-alive)
+  connections, bounded by ``max_connections``, each carrying one
+  request/response exchange at a time.
+* **Exception fidelity.**  ``loadgen.run_open_loop`` buckets outcomes by
+  catching the serving layer's exception types.  The client therefore
+  re-raises the *original* types from the gateway's structured error
+  bodies -- ``429/overloaded`` back to
+  :class:`~repro.serve.ServerOverloadedError`, ``504/deadline_exceeded``
+  back to :class:`~repro.serve.DeadlineExceededError`, and so on -- so a
+  load run over HTTP and a load run in-process are bucketed by the exact
+  same code.
+
+Anything that does not map cleanly (parse errors, unexpected statuses)
+raises :class:`GatewayError`, which carries the status and the server's
+structured error type/message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.gateway.codec import json_bytes, read_response
+from repro.serve import (
+    DeadlineExceededError,
+    ServerClosedError,
+    ServerOverloadedError,
+    UnknownModelError,
+)
+
+__all__ = ["GatewayClient", "GatewayError"]
+
+
+class GatewayError(Exception):
+    """An HTTP failure with no serving-layer equivalent to re-raise."""
+
+    def __init__(self, status: int, error_type: str, message: str):
+        super().__init__(f"[{status} {error_type}] {message}")
+        self.status = int(status)
+        self.error_type = str(error_type)
+        self.message = str(message)
+
+
+#: ``error.type`` -> the serving-layer exception the gateway mapped from.
+_ERROR_TYPES = {
+    "overloaded": ServerOverloadedError,
+    "deadline_exceeded": DeadlineExceededError,
+    "unknown_model": UnknownModelError,
+    "unavailable": ServerClosedError,
+    "too_many_connections": ServerOverloadedError,
+}
+
+_Conn = Tuple[asyncio.StreamReader, asyncio.StreamWriter]
+
+
+class GatewayClient:
+    """Pooled keep-alive HTTP client for one gateway endpoint.
+
+    Usable as an async context manager; all methods are coroutines and
+    must run on one event loop.  ``max_connections`` bounds concurrent
+    exchanges -- additional callers wait for a pooled connection rather
+    than stampeding the gateway's connection limit.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        max_connections: int = 16,
+        timeout_s: float = 60.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = float(timeout_s)
+        self._idle: List[_Conn] = []
+        self._slots = asyncio.Semaphore(int(max_connections))
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    async def _request(self, method: str, path: str, payload=None) -> Tuple[int, Dict[str, str], dict]:
+        """One exchange on a pooled connection; returns ``(status, headers, body)``."""
+        if self._closed:
+            raise GatewayError(0, "client_closed", "client is closed")
+        body = json_bytes(payload) if payload is not None else b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        async with self._slots:
+            reader, writer = await self._acquire()
+            try:
+                writer.write(head + body)
+                await writer.drain()
+                status, headers, raw = await asyncio.wait_for(read_response(reader), self.timeout_s)
+            except Exception:
+                await _discard(writer)
+                raise
+            if headers.get("connection", "keep-alive").lower() == "close":
+                await _discard(writer)
+            else:
+                self._idle.append((reader, writer))
+        parsed = json.loads(raw.decode("utf-8")) if raw else {}
+        return status, headers, parsed
+
+    async def _acquire(self) -> _Conn:
+        while self._idle:
+            reader, writer = self._idle.pop()
+            if not reader.at_eof() and not writer.is_closing():
+                return reader, writer
+            await _discard(writer)
+        return await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout_s
+        )
+
+    async def close(self) -> None:
+        self._closed = True
+        idle, self._idle = self._idle, []
+        for _, writer in idle:
+            await _discard(writer)
+
+    async def __aenter__(self) -> "GatewayClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    @staticmethod
+    def _raise_for_error(status: int, body: dict) -> None:
+        error = body.get("error") if isinstance(body, dict) else None
+        if status < 400 and error is None:
+            return
+        error = error or {}
+        error_type = str(error.get("type", "unknown"))
+        message = str(error.get("message", f"HTTP {status}"))
+        mapped = _ERROR_TYPES.get(error_type)
+        if mapped is not None:
+            raise mapped(message)
+        raise GatewayError(status, error_type, message)
+
+    # ------------------------------------------------------------------ #
+    # API surface
+    # ------------------------------------------------------------------ #
+    async def infer(self, model: str, payload, slo_ms: Optional[float] = None) -> np.ndarray:
+        """``POST /v1/models/{model}/infer`` with one payload; one result row."""
+        request: dict = {"input": np.asarray(payload)}
+        if slo_ms is not None:
+            request["slo_ms"] = float(slo_ms)
+        status, _, body = await self._request("POST", f"/v1/models/{model}/infer", request)
+        self._raise_for_error(status, body)
+        return np.asarray(body["output"], dtype=float)
+
+    async def infer_many(self, model: str, payloads, slo_ms: Optional[float] = None) -> np.ndarray:
+        """Batch variant: ``{"inputs": [...]}``; stacked results."""
+        request: dict = {"inputs": [np.asarray(payload) for payload in payloads]}
+        if slo_ms is not None:
+            request["slo_ms"] = float(slo_ms)
+        status, _, body = await self._request("POST", f"/v1/models/{model}/infer", request)
+        self._raise_for_error(status, body)
+        return np.asarray(body["outputs"], dtype=float)
+
+    async def models(self) -> List[dict]:
+        status, _, body = await self._request("GET", "/v1/models")
+        self._raise_for_error(status, body)
+        return body["models"]
+
+    async def stats(self) -> dict:
+        status, _, body = await self._request("GET", "/v1/stats")
+        self._raise_for_error(status, body)
+        return body
+
+    async def health(self) -> dict:
+        """``GET /healthz`` -- returns the body even when the answer is 503."""
+        _, _, body = await self._request("GET", "/healthz")
+        return body
+
+
+async def _discard(writer: asyncio.StreamWriter) -> None:
+    try:
+        writer.close()
+        await writer.wait_closed()
+    except (ConnectionError, OSError):  # pragma: no cover - teardown race
+        pass

@@ -1,0 +1,93 @@
+"""Admission bookkeeping of the gateway: bounded connections and in-flight work.
+
+Two independent bounds, both refused *loudly* at the front door rather
+than queued invisibly (the same philosophy as the batcher's bounded
+queue underneath):
+
+* ``max_connections`` -- simultaneous open TCP connections.  Past it the
+  gateway answers ``503`` with ``Retry-After`` and closes; an accept
+  backlog nobody is reading is just a queue with no telemetry.
+* ``max_inflight`` -- inference requests currently being answered (only
+  ``POST .../infer`` counts; health and stats probes must keep working
+  exactly when the gateway is saturated).  Past it the gateway answers
+  ``429`` before touching the batcher: its queue bound is per *model*,
+  and the aggregate across models is the gateway's to enforce.
+
+The gateway's handler runs on one event loop, so plain integer counters
+are race-free by construction -- no locks here, on purpose.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GatewayLimits"]
+
+
+class GatewayLimits:
+    """Connection/in-flight admission counters for one gateway instance."""
+
+    def __init__(
+        self,
+        max_connections: int = 64,
+        max_inflight: int = 256,
+        *,
+        retry_after_s: float = 1.0,
+    ):
+        if max_connections < 1 or max_inflight < 1:
+            raise ValueError("limits must be >= 1")
+        self.max_connections = int(max_connections)
+        self.max_inflight = int(max_inflight)
+        #: Hint stamped on 429/503 responses (``Retry-After`` rounds up).
+        self.retry_after_s = float(retry_after_s)
+        self.open_connections = 0
+        self.inflight = 0
+        self.total_connections = 0
+        self.total_requests = 0
+        self.connections_rejected = 0
+        self.requests_rejected = 0
+
+    # ------------------------------------------------------------------ #
+    # Connections
+    # ------------------------------------------------------------------ #
+    def try_open_connection(self) -> bool:
+        if self.open_connections >= self.max_connections:
+            self.connections_rejected += 1
+            return False
+        self.open_connections += 1
+        self.total_connections += 1
+        return True
+
+    def close_connection(self) -> None:
+        self.open_connections = max(0, self.open_connections - 1)
+
+    # ------------------------------------------------------------------ #
+    # Inference requests
+    # ------------------------------------------------------------------ #
+    def try_begin_request(self) -> bool:
+        if self.inflight >= self.max_inflight:
+            self.requests_rejected += 1
+            return False
+        self.inflight += 1
+        self.total_requests += 1
+        return True
+
+    def end_request(self) -> None:
+        self.inflight = max(0, self.inflight - 1)
+
+    def snapshot(self) -> dict:
+        """Flat counters for ``GET /v1/stats``."""
+        return {
+            "open_connections": self.open_connections,
+            "max_connections": self.max_connections,
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "total_connections": self.total_connections,
+            "total_requests": self.total_requests,
+            "connections_rejected": self.connections_rejected,
+            "requests_rejected": self.requests_rejected,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GatewayLimits(connections={self.open_connections}/{self.max_connections}, "
+            f"inflight={self.inflight}/{self.max_inflight})"
+        )

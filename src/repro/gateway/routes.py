@@ -1,0 +1,163 @@
+"""Route table and handlers: URL + method -> serving-layer calls.
+
+The gateway's entire API surface lives in :func:`dispatch`:
+
+=========  ==============================  =================================
+method     path                            answers
+=========  ==============================  =================================
+``GET``    ``/healthz``                    liveness + model roster
+``GET``    ``/v1/models``                  static per-model metadata
+``GET``    ``/v1/stats``                   batcher/replica/gateway counters
+``POST``   ``/v1/models/{name}/infer``     run inference (single or batch)
+=========  ==============================  =================================
+
+Handlers speak :class:`~repro.gateway.codec.ApiError` for refusals; the
+serving layer's exception taxonomy is mapped onto HTTP statuses in
+:func:`map_exception` -- overload becomes ``429 Too Many Requests`` with
+``Retry-After`` (back off and come back), an expired deadline becomes
+``504 Gateway Timeout`` (the answer is late, not wrong), an unknown
+model ``404``, and a closed/crashed backend ``503 Service Unavailable``.
+The mapping is the contract :class:`~repro.gateway.client.GatewayClient`
+inverts on the other side of the wire, which is what lets the open-loop
+load generator bucket HTTP outcomes exactly like in-process ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+from urllib.parse import unquote
+
+import numpy as np
+
+from repro.gateway.codec import (
+    ApiError,
+    HttpRequest,
+    decode_infer_payload,
+    error_response,
+    json_response,
+)
+from repro.serve import (
+    DeadlineExceededError,
+    ServerClosedError,
+    ServerOverloadedError,
+    UnknownModelError,
+)
+
+__all__ = ["dispatch", "map_exception"]
+
+
+def map_exception(exc: BaseException, retry_after_s: float = 1.0) -> ApiError:
+    """The serving layer's exception taxonomy as HTTP statuses."""
+    if isinstance(exc, ApiError):
+        return exc
+    if isinstance(exc, ServerOverloadedError):
+        return ApiError(429, "overloaded", str(exc) or "request queue is full", retry_after_s=retry_after_s)
+    if isinstance(exc, DeadlineExceededError):
+        return ApiError(504, "deadline_exceeded", str(exc) or "latency budget expired in queue")
+    if isinstance(exc, UnknownModelError):
+        return ApiError(404, "unknown_model", str(exc) or "no such model")
+    if isinstance(exc, ServerClosedError):
+        return ApiError(503, "unavailable", str(exc) or "server is not serving", retry_after_s=retry_after_s)
+    if isinstance(exc, ValueError):
+        # The batcher refuses shape/dtype mismatches with ValueError: the
+        # request is at fault, not the server.
+        return ApiError(400, "invalid_input", str(exc))
+    try:
+        from repro.cluster.errors import ClusterError
+    except Exception:  # pragma: no cover - cluster is part of this package
+        ClusterError = ()  # type: ignore[assignment]
+    if isinstance(exc, ClusterError):
+        # Replica crashes/timeouts surviving the group's retry budget:
+        # the backend fleet is unhealthy, not the request.
+        return ApiError(503, "unavailable", str(exc) or "no replica available", retry_after_s=retry_after_s)
+    return ApiError(500, "internal", f"{type(exc).__name__}: {exc}")
+
+
+async def dispatch(gateway, request: HttpRequest) -> bytes:
+    """Answer one parsed request; never raises (errors become responses)."""
+    keep_alive = request.keep_alive
+    try:
+        if request.path == "/healthz":
+            _require_method(request, "GET")
+            return _health(gateway, keep_alive)
+        if request.path == "/v1/models":
+            _require_method(request, "GET")
+            return json_response({"models": list(gateway.server.describe().values())}, keep_alive=keep_alive)
+        if request.path == "/v1/stats":
+            _require_method(request, "GET")
+            return _stats(gateway, keep_alive)
+        name = _infer_model_name(request.path)
+        if name is not None:
+            _require_method(request, "POST")
+            return await _infer(gateway, name, request, keep_alive)
+        raise ApiError(404, "not_found", f"no route for {request.path}")
+    except ApiError as error:
+        return error_response(error, keep_alive=keep_alive)
+    except Exception as exc:  # noqa: BLE001 - the wire gets a 500, not a traceback
+        return error_response(map_exception(exc), keep_alive=keep_alive)
+
+
+def _require_method(request: HttpRequest, method: str) -> None:
+    if request.method != method:
+        raise ApiError(405, "method_not_allowed", f"{request.path} accepts {method} only")
+
+
+def _infer_model_name(path: str) -> Optional[str]:
+    """``/v1/models/{name}/infer`` -> ``name`` (URL-decoded), else ``None``."""
+    prefix, suffix = "/v1/models/", "/infer"
+    if not (path.startswith(prefix) and path.endswith(suffix)):
+        return None
+    name = path[len(prefix) : -len(suffix)]
+    if not name or "/" in name:
+        return None
+    return unquote(name)
+
+
+def _health(gateway, keep_alive: bool) -> bytes:
+    up = gateway.server.started
+    body = {
+        "status": "ok" if up else "unavailable",
+        "started": up,
+        "models": sorted(gateway.server.describe()),
+        "uptime_s": gateway.uptime_s,
+    }
+    return json_response(body, status=200 if up else 503, keep_alive=keep_alive)
+
+
+def _stats(gateway, keep_alive: bool) -> bytes:
+    models = {}
+    for name, stats in gateway.server.stats().items():
+        row = stats.as_dict()
+        if stats.replicas is not None:
+            row["replicas"] = stats.replicas
+        models[name] = row
+    return json_response({"models": models, "gateway": gateway.limits.snapshot()}, keep_alive=keep_alive)
+
+
+async def _infer(gateway, name: str, request: HttpRequest, keep_alive: bool) -> bytes:
+    batch, single, slo_ms = decode_infer_payload(request.body)
+    if not gateway.limits.try_begin_request():
+        raise ApiError(
+            429,
+            "overloaded",
+            f"gateway is at its in-flight limit ({gateway.limits.max_inflight})",
+            retry_after_s=gateway.limits.retry_after_s,
+        )
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    try:
+        results = await asyncio.gather(
+            *(gateway.server.submit(name, payload, slo_ms=slo_ms) for payload in batch)
+        )
+    except Exception as exc:  # noqa: BLE001 - mapped onto the HTTP taxonomy
+        raise map_exception(exc, gateway.limits.retry_after_s) from exc
+    finally:
+        gateway.limits.end_request()
+    latency_ms = (loop.time() - started) * 1000.0
+    if single:
+        body = {"model": name, "output": results[0], "latency_ms": latency_ms}
+    else:
+        stacked = np.stack(results, axis=0) if results else np.empty((0,))
+        body = {"model": name, "outputs": stacked, "count": len(results), "latency_ms": latency_ms}
+    return json_response(body, keep_alive=keep_alive)

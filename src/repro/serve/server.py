@@ -132,6 +132,10 @@ class InferenceServer:
     cluster_options:
         Extra :class:`~repro.cluster.ReplicaGroup` keyword defaults
         (``max_retries``, ``call_timeout_s``, ``handicaps``, ...).
+        ``workers=["host:port", ...]`` attaches already-running
+        ``repro-worker`` processes over
+        :class:`~repro.cluster.SocketTransport` to every cluster model
+        (and permits ``replicas=0`` for a purely remote fleet).
 
     Thread/async-safety: the server is bound to the event loop that runs
     :meth:`start`; all coroutines must be awaited on that loop.
@@ -154,8 +158,8 @@ class InferenceServer:
         router="round_robin",
         cluster_options: Optional[dict] = None,
     ):
-        if replicas < 1:
-            raise ValueError("replicas must be >= 1")
+        if replicas < 1 and not (cluster_options or {}).get("workers"):
+            raise ValueError("replicas must be >= 1 (or name remote workers in cluster_options)")
         self.registry = registry if registry is not None else SessionRegistry()
         self._default_policy = policy
         if policy is not None and not (isinstance(policy, BatchingPolicy) or callable(policy)):
@@ -262,10 +266,11 @@ class InferenceServer:
                     f"session options {sorted(session_kwargs)} cannot apply to a ready ReplicaGroup"
                 )
         n_replicas = int(replicas) if replicas is not None else self._default_replicas
-        if n_replicas < 1:
-            raise ValueError("replicas must be >= 1")
+        remote_workers = bool(self._cluster_options.get("workers"))
+        if n_replicas < 1 and not remote_workers:
+            raise ValueError("replicas must be >= 1 (or name remote workers in cluster_options)")
         router_instance = None
-        if group is None and n_replicas >= 2:
+        if group is None and (n_replicas >= 2 or remote_workers):
             effective_router = router if router is not None else self._default_router
             if not isinstance(effective_router, str):
                 router_instance = effective_router
@@ -489,6 +494,55 @@ class InferenceServer:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    @property
+    def started(self) -> bool:
+        """Accepting traffic: between :meth:`start` and :meth:`stop`."""
+        return self._started and not self._closed
+
+    def describe(self) -> Dict[str, dict]:
+        """Static per-model metadata, keyed by model name.
+
+        The discovery counterpart of :meth:`stats` (which carries live
+        counters): model kind, expected per-request ``input_shape``,
+        backend/dtype, replica count and routing policy.  This is what
+        the HTTP gateway serves under ``GET /v1/models``.  Cluster
+        models report full metadata only once their workers have
+        hand-shaken (i.e. after :meth:`start`).
+        """
+        names = list(self.registry.names())
+        names.extend(name for name in self._groups if name not in names)
+        names.extend(name for name in self._batchers if name not in names)
+        models: Dict[str, dict] = {}
+        for name in sorted(set(names)):
+            group = self._groups.get(name)
+            if group is not None:
+                meta = group.meta or {}
+                shape = meta.get("input_shape")
+                models[name] = {
+                    "name": name,
+                    "kind": meta.get("kind"),
+                    "input_shape": list(shape) if shape is not None else None,
+                    "backend": meta.get("backend"),
+                    "dtype": meta.get("dtype"),
+                    "replicas": len(group),
+                    "router": group.router_name,
+                }
+                continue
+            batcher = self._batchers.get(name)
+            session = batcher.session if batcher is not None else self.registry.get(name)
+            shape = getattr(session, "input_shape", None)
+            dtype = getattr(session, "dtype", None)
+            models[name] = {
+                "name": name,
+                "kind": getattr(session, "kind", None),
+                "input_shape": list(shape) if shape is not None else None,
+                "backend": getattr(session, "backend_name", None),
+                "dtype": dtype.name if dtype is not None else None,
+                "replicas": 1,
+                "router": None,
+            }
+        return models
+
     def stats(self) -> Dict[str, BatcherStats]:
         """Live per-model telemetry, keyed by model name.
 

@@ -1,0 +1,420 @@
+"""Tests for the HTTP/JSON gateway (``repro.gateway``) and the transport seam.
+
+Three layers of coverage:
+
+* pure codec/limits units (no sockets),
+* live-gateway round trips over loopback -- routes, error statuses,
+  backpressure mapping, slo_ms plumb-through -- against fake sessions,
+* parity: HTTP responses vs in-process ``compile()`` output at
+  ``atol=1e-10``, and ``SocketTransport`` vs ``LocalTransport`` vs
+  in-process on one spec.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import ReplicaGroup, WorkerServer
+from repro.cluster.transport import (
+    FrameBuffer,
+    decode_frame,
+    encode_frame,
+    parse_address,
+)
+from repro.engine import compile as engine_compile
+from repro.gateway import Gateway, GatewayClient, GatewayError, GatewayLimits
+from repro.gateway.codec import ApiError, decode_infer_payload, json_bytes
+from repro.models.config import DONNConfig
+from repro.models.donn import DONN
+from repro.serve import (
+    DeadlineExceededError,
+    InferenceServer,
+    ServerOverloadedError,
+    UnknownModelError,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def _tiny_model() -> DONN:
+    config = DONNConfig(
+        sys_size=16, pixel_size=36e-6, distance=0.05, num_layers=2, num_classes=4, approx="fresnel", seed=3
+    )
+    return DONN(config)
+
+
+class FakeSession:
+    """Echo session: doubles every payload, remembers fused batch sizes."""
+
+    input_shape = (4, 4)
+    kind = "classifier"
+
+    def __init__(self):
+        self.batch_sizes = []
+
+    def run(self, batch, batch_size=None):
+        batch = np.asarray(batch)
+        self.batch_sizes.append(len(batch))
+        return batch * 2.0
+
+
+class BlockingSession:
+    """Holds every fused call until released; for backpressure tests."""
+
+    input_shape = (2, 2)
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def run(self, batch, batch_size=None):
+        batch = np.asarray(batch)
+        if len(batch):
+            self.entered.set()
+            self.release.wait(10.0)
+        return batch * 2.0
+
+
+async def _raw_request(port: int, payload: bytes):
+    """Fire raw bytes at the gateway; returns ``(status, headers, body_dict)``."""
+    from repro.gateway.codec import read_response
+
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(payload)
+        await writer.drain()
+        status, headers, body = await asyncio.wait_for(read_response(reader), 10.0)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return status, headers, json.loads(body.decode("utf-8")) if body else {}
+
+
+def _http(method: str, path: str, body: bytes = b"", extra_headers: str = "") -> bytes:
+    return (
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {len(body)}\r\n"
+        f"{extra_headers}\r\n"
+    ).encode() + body
+
+
+# ---------------------------------------------------------------------- #
+# Units: frame codec, limits, payload decoding
+# ---------------------------------------------------------------------- #
+class TestFrameCodec:
+    def test_round_trip_with_arrays(self):
+        batch = np.arange(12.0).reshape(3, 4)
+        frame = encode_frame(("run", batch, 7))
+        kind, out, seq = decode_frame(frame[8:])
+        assert kind == "run" and seq == 7
+        np.testing.assert_array_equal(out, batch)
+
+    def test_frame_buffer_reassembles_split_frames(self):
+        messages = [("ping", 1), ("ok", 2, np.ones(3), 0.5), ("stop",)]
+        blob = b"".join(encode_frame(message) for message in messages)
+        buffer = FrameBuffer()
+        decoded = []
+        # Feed in awkward 7-byte chunks: headers and payloads straddle reads.
+        for start in range(0, len(blob), 7):
+            buffer.feed(blob[start : start + 7])
+            while True:
+                message = buffer.next_message()
+                if message is None:
+                    break
+                decoded.append(message)
+        assert [message[0] for message in decoded] == ["ping", "ok", "stop"]
+        np.testing.assert_array_equal(decoded[1][2], np.ones(3))
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.5:7070") == ("10.0.0.5", 7070)
+        assert parse_address(("localhost", 80)) == ("localhost", 80)
+        with pytest.raises(ValueError):
+            parse_address("no-port")
+
+
+class TestGatewayLimits:
+    def test_connection_and_inflight_bounds(self):
+        limits = GatewayLimits(max_connections=2, max_inflight=1)
+        assert limits.try_open_connection() and limits.try_open_connection()
+        assert not limits.try_open_connection()
+        limits.close_connection()
+        assert limits.try_open_connection()
+        assert limits.try_begin_request()
+        assert not limits.try_begin_request()
+        limits.end_request()
+        assert limits.try_begin_request()
+        snap = limits.snapshot()
+        assert snap["connections_rejected"] == 1 and snap["requests_rejected"] == 1
+        assert snap["total_connections"] == 3 and snap["total_requests"] == 2
+
+
+class TestPayloadCodec:
+    def test_single_vs_batch_and_slo(self):
+        batch, single, slo = decode_infer_payload(json.dumps({"input": [[1.0, 2.0]]}).encode())
+        assert single and batch.shape == (1, 1, 2) and slo is None
+        batch, single, slo = decode_infer_payload(
+            json.dumps({"inputs": [[[1.0]], [[2.0]]], "slo_ms": 25}).encode()
+        )
+        assert not single and batch.shape == (2, 1, 1) and slo == 25.0
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"not json at all",
+            b"[1, 2, 3]",  # not an object
+            json.dumps({}).encode(),  # neither input nor inputs
+            json.dumps({"input": [1.0], "inputs": [[1.0]]}).encode(),  # both
+            json.dumps({"input": [1.0], "slo": 5}).encode(),  # unknown key
+            json.dumps({"input": [1.0], "slo_ms": -3}).encode(),  # bad budget
+            json.dumps({"input": [1.0], "slo_ms": "soon"}).encode(),
+            json.dumps({"input": ["a", "b"]}).encode(),  # non-numeric
+        ],
+    )
+    def test_malformed_payloads_are_400(self, body):
+        with pytest.raises(ApiError) as info:
+            decode_infer_payload(body)
+        assert info.value.status == 400
+
+    def test_json_bytes_scrubs_non_finite(self):
+        blob = json_bytes({"p99": float("nan"), "rate": float("inf"), "x": np.float64(2.5)})
+        assert json.loads(blob) == {"p99": None, "rate": None, "x": 2.5}
+
+
+# ---------------------------------------------------------------------- #
+# Live gateway round trips (fake sessions: no spawn, fast)
+# ---------------------------------------------------------------------- #
+class TestGatewayRoutes:
+    def test_health_models_stats_and_infer(self):
+        fake = FakeSession()
+
+        async def scenario():
+            server = InferenceServer(max_batch=8, max_wait_ms=1.0)
+            server.add_model("echo", fake)
+            async with Gateway(server, port=0) as gateway:
+                async with GatewayClient(port=gateway.port) as client:
+                    health = await client.health()
+                    models = await client.models()
+                    single = await client.infer("echo", np.full((4, 4), 1.5))
+                    batch = await client.infer_many("echo", [np.ones((4, 4)), np.zeros((4, 4))])
+                    stats = await client.stats()
+            return health, models, single, batch, stats
+
+        health, models, single, batch, stats = asyncio.run(scenario())
+        assert health["status"] == "ok" and health["models"] == ["echo"]
+        assert health["uptime_s"] >= 0.0
+        (row,) = models
+        assert row["name"] == "echo" and row["input_shape"] == [4, 4]
+        assert row["kind"] == "classifier" and row["replicas"] == 1
+        np.testing.assert_allclose(single, np.full((4, 4), 3.0))
+        assert batch.shape == (2, 4, 4)
+        np.testing.assert_allclose(batch[0], np.full((4, 4), 2.0))
+        assert stats["models"]["echo"]["completed"] == 3
+        assert stats["gateway"]["total_requests"] == 2
+        assert stats["gateway"]["open_connections"] >= 1
+
+    def test_unknown_model_is_404_and_remaps(self):
+        async def scenario():
+            server = InferenceServer()
+            server.add_model("echo", FakeSession())
+            async with Gateway(server, port=0) as gateway:
+                status, _, body = await _raw_request(
+                    gateway.port, _http("POST", "/v1/models/nope/infer", json.dumps({"input": [[1.0]]}).encode())
+                )
+                async with GatewayClient(port=gateway.port) as client:
+                    with pytest.raises(UnknownModelError):
+                        await client.infer("nope", np.ones((4, 4)))
+            return status, body
+
+        status, body = asyncio.run(scenario())
+        assert status == 404
+        assert body["error"]["type"] == "unknown_model" and body["error"]["status"] == 404
+
+    def test_malformed_json_and_shape_mismatch_are_400(self):
+        async def scenario():
+            server = InferenceServer(max_wait_ms=1.0)
+            server.add_model("echo", FakeSession())
+            async with Gateway(server, port=0) as gateway:
+                bad_json = await _raw_request(
+                    gateway.port, _http("POST", "/v1/models/echo/infer", b"{nope")
+                )
+                bad_shape = await _raw_request(
+                    gateway.port,
+                    _http("POST", "/v1/models/echo/infer", json.dumps({"input": [[1.0, 2.0]]}).encode()),
+                )
+            return bad_json, bad_shape
+
+        (status_json, _, body_json), (status_shape, _, body_shape) = asyncio.run(scenario())
+        assert status_json == 400 and body_json["error"]["type"] == "invalid_json"
+        assert status_shape == 400 and body_shape["error"]["type"] == "invalid_input"
+
+    def test_oversize_body_413_wrong_method_405_unknown_route_404(self):
+        async def scenario():
+            server = InferenceServer()
+            server.add_model("echo", FakeSession())
+            async with Gateway(server, port=0, max_body_bytes=256) as gateway:
+                big = json.dumps({"input": [[0.0] * 64] * 64}).encode()
+                oversize = await _raw_request(
+                    gateway.port, _http("POST", "/v1/models/echo/infer", big)
+                )
+                wrong_method = await _raw_request(gateway.port, _http("POST", "/healthz"))
+                missing = await _raw_request(gateway.port, _http("GET", "/v2/nothing"))
+                chunked = await _raw_request(
+                    gateway.port,
+                    b"POST /v1/models/echo/infer HTTP/1.1\r\nHost: t\r\n"
+                    b"Transfer-Encoding: chunked\r\n\r\n",
+                )
+            return oversize, wrong_method, missing, chunked
+
+        oversize, wrong_method, missing, chunked = asyncio.run(scenario())
+        assert oversize[0] == 413 and oversize[2]["error"]["type"] == "payload_too_large"
+        assert wrong_method[0] == 405
+        assert missing[0] == 404 and missing[2]["error"]["type"] == "not_found"
+        assert chunked[0] == 501
+
+    def test_inflight_limit_maps_to_429_with_retry_after(self):
+        blocking = BlockingSession()
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            server = InferenceServer(max_batch=1, max_wait_ms=0.5)
+            server.add_model("slow", blocking)
+            limits = GatewayLimits(max_inflight=1, retry_after_s=2.0)
+            async with Gateway(server, port=0, limits=limits) as gateway:
+                async with GatewayClient(port=gateway.port) as client:
+                    first = asyncio.ensure_future(client.infer("slow", np.ones((2, 2))))
+                    # The gateway counts the request in-flight before the
+                    # batcher sees it; wait until the session is provably busy.
+                    assert await loop.run_in_executor(None, blocking.entered.wait, 5.0)
+                    status, headers, body = await _raw_request(
+                        gateway.port,
+                        _http("POST", "/v1/models/slow/infer", json.dumps({"input": [[1.0, 1.0]] * 1}).encode()),
+                    )
+                    with pytest.raises(ServerOverloadedError):
+                        await client.infer("slow", np.ones((2, 2)))
+                    blocking.release.set()
+                    result = await first
+            return status, headers, body, result
+
+        status, headers, body, result = asyncio.run(scenario())
+        assert status == 429
+        assert body["error"]["type"] == "overloaded"
+        assert int(headers["retry-after"]) >= 2
+        np.testing.assert_allclose(result, np.full((2, 2), 2.0))
+
+    def test_slo_ms_plumbs_through_to_504_deadline(self):
+        blocking = BlockingSession()
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            server = InferenceServer(max_batch=1, max_wait_ms=0.5)
+            server.add_model("slow", blocking)
+            async with Gateway(server, port=0) as gateway:
+                async with GatewayClient(port=gateway.port) as client:
+                    first = asyncio.ensure_future(client.infer("slow", np.ones((2, 2))))
+                    assert await loop.run_in_executor(None, blocking.entered.wait, 5.0)
+                    # Queued behind a busy worker with a 30 ms budget that
+                    # cannot be met: the batcher sheds it at admission.
+                    second = asyncio.ensure_future(client.infer("slow", np.ones((2, 2)), slo_ms=30.0))
+                    await asyncio.sleep(0.08)
+                    blocking.release.set()
+                    with pytest.raises(DeadlineExceededError):
+                        await second
+                    await first
+                    # And over the raw wire the same outcome is a 504.
+                    blocking.entered.clear()
+                    blocking.release.clear()
+                    third = asyncio.ensure_future(client.infer("slow", np.ones((2, 2))))
+                    assert await loop.run_in_executor(None, blocking.entered.wait, 5.0)
+                    raw = asyncio.ensure_future(
+                        _raw_request(
+                            gateway.port,
+                            _http(
+                                "POST",
+                                "/v1/models/slow/infer",
+                                json.dumps({"input": [[1.0, 1.0], [1.0, 1.0]], "slo_ms": 30}).encode(),
+                            ),
+                        )
+                    )
+                    await asyncio.sleep(0.08)
+                    blocking.release.set()
+                    status, _, body = await raw
+                    await third
+            return status, body
+
+        status, body = asyncio.run(scenario())
+        assert status == 504
+        assert body["error"]["type"] == "deadline_exceeded"
+
+    def test_client_raises_gateway_error_for_unmapped_types(self):
+        """A 404 route miss has no serve-layer twin: GatewayError carries it."""
+
+        async def scenario():
+            server = InferenceServer()
+            server.add_model("echo", FakeSession())
+            async with Gateway(server, port=0) as gateway:
+                async with GatewayClient(port=gateway.port) as client:
+                    status, _, body = await client._request("GET", "/v2/nothing")
+                    with pytest.raises(GatewayError) as info:
+                        client._raise_for_error(status, body)
+            return info.value
+
+        error = asyncio.run(scenario())
+        assert error.status == 404 and error.error_type == "not_found"
+
+
+# ---------------------------------------------------------------------- #
+# Parity: HTTP vs compile(), socket vs local transport
+# ---------------------------------------------------------------------- #
+class TestParity:
+    def test_http_logits_match_compile_output(self):
+        model = _tiny_model()
+        session = engine_compile(model, backend="numpy")
+        rng = np.random.default_rng(11)
+        images = rng.random((5, 16, 16))
+        reference = session.run(images)
+
+        async def scenario():
+            server = InferenceServer(max_batch=8, max_wait_ms=1.0)
+            # Register the *same compiled session*: the HTTP path must add
+            # nothing but JSON round-trips, which are exact for doubles.
+            server.add_model("digits", session)
+            async with Gateway(server, port=0) as gateway:
+                async with GatewayClient(port=gateway.port) as client:
+                    single = await client.infer("digits", images[0])
+                    batch = await client.infer_many("digits", images)
+            return single, batch
+
+        single, batch = asyncio.run(scenario())
+        np.testing.assert_allclose(single, reference[0], atol=1e-10)
+        np.testing.assert_allclose(batch, reference, atol=1e-10)
+
+    def test_socket_transport_matches_local_and_in_process(self):
+        spec = engine_compile(_tiny_model(), backend="numpy").to_spec()
+        session = spec.build()
+        rng = np.random.default_rng(5)
+        images = rng.random((6, 16, 16))
+        reference = session.run(images)
+
+        with WorkerServer(port=0) as worker:
+            worker.serve_in_thread()
+            with ReplicaGroup(spec, replicas=0, workers=[worker.address], name="remote") as remote:
+                over_socket = remote.infer_sync(images)
+                stats = remote.stats()[0]
+        assert stats["transport"].startswith("socket(")
+        with ReplicaGroup(spec, replicas=1, name="local") as local:
+            over_pipe = local.infer_sync(images)
+
+        np.testing.assert_allclose(over_socket, reference, atol=1e-12)
+        np.testing.assert_allclose(over_pipe, reference, atol=1e-12)
+
+    def test_group_rejects_empty_fleet(self):
+        spec = engine_compile(_tiny_model(), backend="numpy").to_spec()
+        with pytest.raises(ValueError):
+            ReplicaGroup(spec, replicas=0)
