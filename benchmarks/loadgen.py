@@ -30,7 +30,7 @@ import asyncio
 import os
 import platform
 from dataclasses import dataclass, field
-from typing import Awaitable, Callable, List, Sequence
+from typing import Awaitable, Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -134,11 +134,97 @@ def poisson_schedule(rate_rps: float, num_requests: int, rng: np.random.Generato
     return np.cumsum(rng.exponential(1.0 / rate_rps, size=num_requests))
 
 
+def piecewise_poisson_schedule(
+    segments: Sequence[tuple], rng: np.random.Generator
+) -> np.ndarray:
+    """Arrival offsets of a Poisson process whose rate changes over time.
+
+    ``segments`` is ``[(rate_rps, duration_s), ...]``: within each
+    segment arrivals are Poisson at that segment's rate, and the next
+    segment starts where the previous one's time window ends (not at its
+    last arrival), so the *shape* of the trace is deterministic even
+    though the arrivals are random.  Segments produce however many
+    arrivals land inside their window -- possibly zero.  This is the
+    primitive behind :func:`step_schedule` and :func:`ramp_schedule`,
+    the traces the autoscaler benchmark drives.
+    """
+    if not segments:
+        raise ValueError("need at least one (rate_rps, duration_s) segment")
+    offsets = []
+    clock = 0.0
+    for rate_rps, duration_s in segments:
+        if rate_rps < 0 or duration_s <= 0:
+            raise ValueError("segment rates must be >= 0 and durations > 0")
+        if rate_rps > 0:
+            # Draw with slack, keep what lands inside the window: the
+            # expected count is rate * duration, and 4 sigma of headroom
+            # makes a short draw (which would silently truncate the
+            # segment) astronomically unlikely; top up if it happens.
+            expect = rate_rps * duration_s
+            size = int(expect + 4.0 * np.sqrt(expect) + 16)
+            gaps = rng.exponential(1.0 / rate_rps, size=size)
+            arrivals = np.cumsum(gaps)
+            while arrivals[-1] < duration_s:  # pragma: no cover - 4-sigma tail
+                more = rng.exponential(1.0 / rate_rps, size=size)
+                arrivals = np.concatenate([arrivals, arrivals[-1] + np.cumsum(more)])
+            offsets.append(clock + arrivals[arrivals < duration_s])
+        clock += duration_s
+    combined = np.concatenate(offsets) if offsets else np.empty(0)
+    if len(combined) == 0:
+        raise ValueError("schedule produced no arrivals (all-zero rates?)")
+    return combined
+
+
+def step_schedule(
+    base_rps: float,
+    peak_rps: float,
+    rng: np.random.Generator,
+    *,
+    base_s: float = 2.0,
+    peak_s: float = 4.0,
+    tail_s: float = 2.0,
+) -> np.ndarray:
+    """A step-shaped trace: base load, a sudden sustained peak, base again.
+
+    The canonical autoscaler workload -- the step up should trigger one
+    scale-up (not a flap), the tail should let the loop shed the extra
+    replicas back down.
+    """
+    return piecewise_poisson_schedule(
+        [(base_rps, base_s), (peak_rps, peak_s), (base_rps, tail_s)], rng
+    )
+
+
+def ramp_schedule(
+    start_rps: float,
+    end_rps: float,
+    duration_s: float,
+    rng: np.random.Generator,
+    *,
+    steps: int = 8,
+) -> np.ndarray:
+    """A linear ramp from ``start_rps`` to ``end_rps`` over ``duration_s``.
+
+    Discretized into ``steps`` equal-duration Poisson segments whose
+    rates interpolate linearly (each segment pinned at its midpoint
+    rate, so the trace's total expected arrivals match the continuous
+    ramp).  A downward ramp (start > end) exercises gradual scale-down.
+    """
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be > 0")
+    rates = np.linspace(start_rps, end_rps, 2 * steps + 1)[1::2]  # segment midpoints
+    return piecewise_poisson_schedule([(float(r), duration_s / steps) for r in rates], rng)
+
+
 async def run_open_loop(
     submit: SubmitFn,
     payloads: Sequence[np.ndarray],
-    rate_rps: float,
-    rng: np.random.Generator,
+    rate_rps: Optional[float] = None,
+    rng: Optional[np.random.Generator] = None,
+    *,
+    offsets: Optional[np.ndarray] = None,
 ) -> LoadResult:
     """Fire ``payloads`` at Poisson arrival times; never wait for answers.
 
@@ -148,8 +234,26 @@ async def run_open_loop(
     gaps), all overdue requests fire back-to-back -- the burst is part of
     the offered load, and their latency clocks still started at the
     scheduled instants.
+
+    Arrival times come either from ``rate_rps`` + ``rng`` (a fresh
+    constant-rate Poisson draw sized to ``payloads``) or from an explicit
+    ``offsets`` array -- e.g. a :func:`step_schedule` /
+    :func:`ramp_schedule` trace, in which case ``payloads`` must cover
+    its length and the reported ``target_rate`` is the trace's mean rate.
     """
-    offsets = poisson_schedule(rate_rps, len(payloads), rng)
+    if offsets is not None:
+        if rate_rps is not None or rng is not None:
+            raise ValueError("pass either offsets= or (rate_rps, rng), not both")
+        offsets = np.asarray(offsets, dtype=float)
+        if len(offsets) == 0:
+            raise ValueError("offsets must be non-empty")
+        if len(payloads) < len(offsets):
+            raise ValueError(f"need {len(offsets)} payloads for the trace, got {len(payloads)}")
+        rate_rps = len(offsets) / float(offsets[-1]) if offsets[-1] > 0 else float(len(offsets))
+    else:
+        if rate_rps is None or rng is None:
+            raise ValueError("need (rate_rps, rng) when no offsets= trace is given")
+        offsets = poisson_schedule(rate_rps, len(payloads), rng)
     loop = asyncio.get_running_loop()
     outcomes: List[asyncio.Task] = []
     start = loop.time()

@@ -26,12 +26,20 @@ execution tier below it:
   :class:`PowerOfTwoChoicesRouter` (:func:`make_router` by name): where
   the next batch goes, using per-replica in-flight depth and EWMA
   latency so asymmetric replicas are not fed equal shares.
+* :class:`Autoscaler` / :class:`AutoscaleConfig`
+  (:mod:`repro.cluster.autoscale`) -- the elastic control loop: reads
+  the serving layer's p99 windows and the fleet's in-flight depth and
+  drives ``ReplicaGroup.scale_to`` (drain-before-terminate) to hold a
+  latency budget at minimum process count, with hysteresis, cooldowns
+  and a max-fleet cap.  ``InferenceServer(autoscale=...)`` wires it up;
+  see ``docs/autoscaling.md``.
 
 ``repro.serve.InferenceServer(replicas=N, router=...)`` wires all of
 this under its dynamic batchers; see ``docs/sharding.md`` for the guide
 and ``benchmarks/bench_sharded_serving.py`` for measured numbers.
 """
 
+from repro.cluster.autoscale import AutoscaleConfig, Autoscaler, Decision
 from repro.cluster.errors import (
     ClusterError,
     NoReplicaAvailableError,
@@ -57,6 +65,9 @@ from repro.cluster.worker import worker_main
 __all__ = [
     "ReplicaGroup",
     "Replica",
+    "Autoscaler",
+    "AutoscaleConfig",
+    "Decision",
     "worker_main",
     "Transport",
     "LocalTransport",

@@ -6,7 +6,17 @@ one of them through a pluggable :class:`~repro.cluster.router.Router`,
 and keeps the fleet healthy: a worker that crashes or wedges mid-call is
 restarted in the background while the batch retries on another replica
 (bounded -- callers get :class:`~repro.cluster.ReplicaCrashError` rather
-than a hang when the budget runs out).
+than a hang when the budget runs out).  Restarts back off exponentially
+per replica (capped), so a worker binary that crash-loops on startup
+cannot respawn as fast as batches fail.
+
+The fleet is **elastic**: :meth:`add_replica`, :meth:`remove_replica`
+and :meth:`scale_to` change the membership at runtime.  Removal is
+drain-before-terminate -- the victim is first hidden from the router
+(no new dispatches), its in-flight calls complete, and only then is the
+worker stopped -- so scaling down drops zero accepted requests.  The
+:class:`~repro.cluster.autoscale.Autoscaler` drives these primitives to
+hold a latency budget at minimum process count.
 
 The group is the *dispatch seam* the serving layer plugs into: a
 :class:`~repro.serve.DynamicBatcher` hands its coalesced batch to
@@ -20,12 +30,15 @@ Thread/async-safety: :meth:`infer`/:meth:`rescue` are coroutines bound
 to the caller's running loop; the blocking pipe work happens in the
 default thread-pool executor.  :meth:`infer_sync` is the same dispatch
 path for synchronous callers (tests, scripts).  Internal counters are
-guarded by a lock; one group may serve many concurrent callers.
+guarded by a lock; membership changes are serialized by their own
+re-entrant lock and safe under concurrent dispatch.  One group may serve
+many concurrent callers.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
 import threading
 import time
 from typing import Dict, List, Optional
@@ -39,14 +52,16 @@ from repro.cluster.errors import (
 )
 from repro.cluster.replica import Replica
 from repro.cluster.router import ReplicaView, Router, make_router
-from repro.cluster.transport import SocketTransport
+from repro.cluster.transport import LocalTransport, SocketTransport
 from repro.engine.spec import SessionSpec
 
 __all__ = ["ReplicaGroup"]
 
+logger = logging.getLogger(__name__)
+
 
 class ReplicaGroup:
-    """N process-sharded replicas of one model behind a routing policy.
+    """Process-sharded replicas of one model behind a routing policy.
 
     Parameters
     ----------
@@ -56,7 +71,9 @@ class ReplicaGroup:
         ``SessionSpec.from_model(model, ...)``).
     replicas:
         Local worker-process count (may be 0 when ``workers`` names at
-        least one remote worker).
+        least one remote worker).  The *initial* fleet size:
+        :meth:`scale_to` / :meth:`add_replica` / :meth:`remove_replica`
+        change it at runtime.
     workers:
         Optional list of ``"host:port"`` addresses of already-running
         ``repro-worker`` processes (see :mod:`repro.cluster.remote`) to
@@ -78,6 +95,19 @@ class ReplicaGroup:
     call_timeout_s / start_timeout_s:
         Per-call answer deadline (a silent worker counts as dead) and
         worker startup handshake deadline.
+    restart_backoff_s / restart_backoff_cap_s:
+        Capped exponential backoff between *failed* restart attempts of
+        one replica (``backoff * 2**(attempts-1)``, capped); consecutive
+        failures are observable as ``restart_attempts`` in :meth:`stats`.
+    drain_timeout_s:
+        Default :meth:`remove_replica` drain deadline: how long a
+        departing replica may take to finish its in-flight calls before
+        it is terminated anyway (logged, never silent).
+    close_timeout_s:
+        How long :meth:`close` waits for in-flight background restarts
+        to finish before terminating workers around them; a restart
+        thread still running at the deadline is logged, not silently
+        abandoned.
     start_method:
         ``multiprocessing`` start method; ``spawn`` (default) is the one
         supported everywhere and the only one safe under threads.
@@ -106,6 +136,10 @@ class ReplicaGroup:
         handicaps: Optional[Dict[int, float]] = None,
         call_timeout_s: float = 60.0,
         start_timeout_s: float = 120.0,
+        restart_backoff_s: float = 0.5,
+        restart_backoff_cap_s: float = 30.0,
+        drain_timeout_s: float = 30.0,
+        close_timeout_s: float = 60.0,
         start_method: str = "spawn",
         name: str = "",
     ):
@@ -116,20 +150,22 @@ class ReplicaGroup:
             raise ValueError("need at least one replica (local or remote worker)")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if drain_timeout_s <= 0 or close_timeout_s <= 0:
+            raise ValueError("drain/close timeouts must be > 0")
         self.spec = spec
         self.name = name or spec.model_type
         self.max_retries = int(max_retries)
+        self.drain_timeout_s = float(drain_timeout_s)
+        self.close_timeout_s = float(close_timeout_s)
         self._router: Router = make_router(router)
+        self._call_timeout_s = float(call_timeout_s)
+        self._start_timeout_s = float(start_timeout_s)
+        self._restart_backoff_s = float(restart_backoff_s)
+        self._restart_backoff_cap_s = float(restart_backoff_cap_s)
+        self._start_method = start_method
         handicaps = handicaps or {}
         self._replicas: List[Replica] = [
-            Replica(
-                spec,
-                index,
-                handicap_s=float(handicaps.get(index, 0.0)),
-                call_timeout_s=call_timeout_s,
-                start_timeout_s=start_timeout_s,
-                start_method=start_method,
-            )
+            self._new_local_replica(index, handicap_s=float(handicaps.get(index, 0.0)))
             for index in range(int(replicas))
         ]
         for offset, address in enumerate(workers):
@@ -142,17 +178,36 @@ class ReplicaGroup:
                         spec,
                         address,
                         options={"handicap_s": float(handicaps.get(index, 0.0))},
-                        start_timeout_s=start_timeout_s,
+                        start_timeout_s=self._start_timeout_s,
                     ),
                     handicap_s=float(handicaps.get(index, 0.0)),
-                    call_timeout_s=call_timeout_s,
-                    start_timeout_s=start_timeout_s,
+                    call_timeout_s=self._call_timeout_s,
+                    start_timeout_s=self._start_timeout_s,
+                    restart_backoff_s=self._restart_backoff_s,
+                    restart_backoff_cap_s=self._restart_backoff_cap_s,
                 )
             )
-        self._lock = threading.Lock()  # in-flight counters + restart flags
+        self._lock = threading.Lock()  # in-flight counters + restart/drain flags
+        self._membership = threading.RLock()  # serializes add/remove/scale_to
+        self._by_index: Dict[int, Replica] = {r.index: r for r in self._replicas}
+        self._next_index = int(replicas) + len(workers)
         self._restarting: set = set()
+        self._draining: set = set()
+        self._closing = threading.Event()  # wakes backoff/drain sleepers on close
         self._started = False
         self._closed = False
+
+    def _new_local_replica(self, index: int, *, handicap_s: float = 0.0) -> Replica:
+        return Replica(
+            self.spec,
+            index,
+            handicap_s=handicap_s,
+            call_timeout_s=self._call_timeout_s,
+            start_timeout_s=self._start_timeout_s,
+            start_method=self._start_method,
+            restart_backoff_s=self._restart_backoff_s,
+            restart_backoff_cap_s=self._restart_backoff_cap_s,
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -171,22 +226,9 @@ class ReplicaGroup:
             raise RuntimeError(f"replica group {self.name!r} is closed")
         if self._started:
             return self
-        pending = [replica for replica in self._replicas if not replica.alive]
-        errors: List[BaseException] = []
-
-        def boot(replica: Replica) -> None:
-            try:
-                replica.start()
-            except BaseException as exc:  # noqa: BLE001 - surfaced below
-                errors.append(exc)
-
-        # Session compilation dominates startup; overlap the workers'
-        # spawn+compile phases instead of paying them serially.
-        threads = [threading.Thread(target=boot, args=(replica,), daemon=True) for replica in pending]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
+        with self._lock:
+            pending = [replica for replica in self._replicas if not replica.alive]
+        errors = self._boot(pending)
         if errors:
             # Tear down whatever booted, but leave the group *open*: a
             # transient startup failure (slow host missing a handshake
@@ -197,25 +239,69 @@ class ReplicaGroup:
         self._started = True
         return self
 
+    @staticmethod
+    def _boot(pending: List[Replica]) -> List[BaseException]:
+        """Start ``pending`` replicas concurrently; returns their errors.
+
+        Session compilation dominates startup; overlap the workers'
+        spawn+compile phases instead of paying them serially.
+        """
+        errors: List[BaseException] = []
+
+        def boot(replica: Replica) -> None:
+            try:
+                replica.start()
+            except BaseException as exc:  # noqa: BLE001 - surfaced by callers
+                errors.append(exc)
+
+        threads = [threading.Thread(target=boot, args=(replica,), daemon=True) for replica in pending]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return errors
+
     def close(self) -> None:
         """Stop every worker process; idempotent.
 
-        Waits out in-flight background revives first: a restart thread
-        that already claimed its slot may be mid-spawn, and tearing down
-        around it would orphan the worker it is about to create.  Close
-        runs after the revive finishes and reclaims whatever it spawned.
+        Waits out in-flight background revives first (up to
+        ``close_timeout_s``): a restart thread that already claimed its
+        slot may be mid-spawn, and tearing down around it would orphan
+        the worker it is about to create.  Close runs after the revive
+        finishes and reclaims whatever it spawned; a revive still running
+        at the deadline is logged and closed around rather than silently
+        abandoned.
         """
         if self._closed:
             return
         self._closed = True
         self._started = False
-        deadline = time.monotonic() + 60.0
+        self._closing.set()  # wake backoff/drain sleepers promptly
+        deadline = time.monotonic() + self.close_timeout_s
         while time.monotonic() < deadline:
             with self._lock:
                 if not self._restarting:
                     break
             time.sleep(0.02)
-        for replica in self._replicas:
+        else:
+            with self._lock:
+                stuck = sorted(self._restarting)
+            if stuck:
+                logger.warning(
+                    "replica group %r: restart thread(s) for replica(s) %s still running "
+                    "after the %.1fs close drain; terminating workers around them",
+                    self.name,
+                    stuck,
+                    self.close_timeout_s,
+                )
+        # The membership lock serializes the terminate sweep with any
+        # in-progress scale_to/add_replica (e.g. an autoscaler tick that
+        # cannot be interrupted): either the resize finishes first and
+        # its workers are closed here, or it observes _closed and bails.
+        with self._membership:
+            with self._lock:
+                replicas = list(self._replicas)
+        for replica in replicas:
             replica.close()
 
     def __enter__(self) -> "ReplicaGroup":
@@ -225,11 +311,134 @@ class ReplicaGroup:
         self.close()
 
     # ------------------------------------------------------------------ #
+    # Elastic membership
+    # ------------------------------------------------------------------ #
+    def add_replica(self, *, handicap_s: float = 0.0) -> int:
+        """Grow the fleet by one local worker; returns its index.
+
+        On a started group the worker is spawned (and its session
+        compiled) *before* it joins the routing table, so the router
+        never selects a replica that cannot serve.  On an idle group the
+        replica is appended unstarted and boots with :meth:`start`.
+        """
+        with self._membership:
+            if self._closed:
+                raise RuntimeError(f"replica group {self.name!r} is closed")
+            with self._lock:
+                index = self._next_index
+                self._next_index += 1
+            replica = self._new_local_replica(index, handicap_s=float(handicap_s))
+            if self._started:
+                replica.start()
+            with self._lock:
+                self._replicas.append(replica)
+                self._by_index[index] = replica
+            return index
+
+    def remove_replica(self, index: Optional[int] = None, *, drain_timeout_s: Optional[float] = None) -> int:
+        """Shrink the fleet by one worker, drain-before-terminate.
+
+        The victim (``index``, or by default the newest local replica) is
+        first marked *draining*: the router stops selecting it, while
+        calls already dispatched to it run to completion.  Only once its
+        in-flight count reaches zero (or the drain deadline expires --
+        logged, never silent) is the worker terminated and dropped from
+        the membership.  Returns the removed index.
+
+        Raises ``ValueError`` when asked to remove the last replica, an
+        unknown index, or one already draining.
+        """
+        timeout = self.drain_timeout_s if drain_timeout_s is None else float(drain_timeout_s)
+        with self._membership:
+            with self._lock:
+                candidates = [r for r in self._replicas if r.index not in self._draining]
+                if len(candidates) <= 1:
+                    raise ValueError(f"cannot remove the last replica of group {self.name!r}")
+                if index is None:
+                    # Prefer shedding a spawned local worker; remote
+                    # repro-workers are externally owned capacity.
+                    locals_ = [r for r in candidates if isinstance(r.transport, LocalTransport)]
+                    victim = (locals_ or candidates)[-1]
+                    index = victim.index
+                else:
+                    victim = self._by_index.get(index)
+                    if victim is None:
+                        raise ValueError(f"no replica with index {index} in group {self.name!r}")
+                    if index in self._draining:
+                        raise ValueError(f"replica {index} is already draining")
+                self._draining.add(index)
+            # Drain outside the lock: dispatched calls decrement in_flight
+            # as they complete, and a pending background revive must also
+            # clear its slot before the worker is torn down under it.
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline and not self._closed:
+                with self._lock:
+                    if victim.in_flight == 0 and index not in self._restarting:
+                        break
+                self._closing.wait(0.01)
+            else:
+                if not self._closed:
+                    with self._lock:
+                        stuck_calls, restarting = victim.in_flight, index in self._restarting
+                    logger.warning(
+                        "replica group %r: replica %d still has %d in-flight call(s)%s after the "
+                        "%.1fs drain deadline; terminating it anyway",
+                        self.name,
+                        index,
+                        stuck_calls,
+                        " (and a pending restart)" if restarting else "",
+                        timeout,
+                    )
+            victim.close()
+            with self._lock:
+                if victim in self._replicas:
+                    self._replicas.remove(victim)
+                self._by_index.pop(index, None)
+                self._draining.discard(index)
+            return index
+
+    def scale_to(self, replicas: int, *, drain_timeout_s: Optional[float] = None) -> int:
+        """Grow or shrink the fleet to ``replicas`` workers; returns the new size.
+
+        Growth spawns the new workers concurrently (like :meth:`start`);
+        shrinkage removes the newest local replicas one at a time via
+        :meth:`remove_replica` (drain-before-terminate).  A partial
+        growth failure publishes the workers that did boot before the
+        error propagates.
+        """
+        target = int(replicas)
+        if target < 1:
+            raise ValueError("scale_to needs at least one replica")
+        with self._membership:
+            if self._closed:
+                raise RuntimeError(f"replica group {self.name!r} is closed")
+            while len(self) > target:
+                self.remove_replica(drain_timeout_s=drain_timeout_s)
+            grow = target - len(self)
+            if grow > 0:
+                with self._lock:
+                    indices = list(range(self._next_index, self._next_index + grow))
+                    self._next_index += grow
+                fresh = [self._new_local_replica(index) for index in indices]
+                errors = self._boot(fresh) if self._started else []
+                booted = [replica for replica in fresh if not self._started or replica.alive]
+                with self._lock:
+                    for replica in booted:
+                        self._replicas.append(replica)
+                        self._by_index[replica.index] = replica
+                if errors:
+                    for replica in fresh:
+                        if replica not in booted:
+                            replica.close()
+                    raise errors[0]
+            return len(self)
+
+    # ------------------------------------------------------------------ #
     # Session-like facade (what the serving layer's plumbing touches)
     # ------------------------------------------------------------------ #
     @property
     def meta(self) -> Optional[dict]:
-        for replica in self._replicas:
+        for replica in list(self._replicas):
             if replica.meta is not None:
                 return replica.meta
         return None
@@ -268,10 +477,15 @@ class ReplicaGroup:
     # Dispatch
     # ------------------------------------------------------------------ #
     def _views(self) -> List[ReplicaView]:
+        """Router-visible fleet snapshot; draining replicas are not routable."""
         return [
             ReplicaView(
                 index=replica.index,
-                alive=replica.alive and replica.index not in self._restarting,
+                alive=(
+                    replica.alive
+                    and replica.index not in self._restarting
+                    and replica.index not in self._draining
+                ),
                 in_flight=replica.in_flight,
                 ewma_latency_ms=replica.ewma_latency_s * 1000.0,
             )
@@ -279,18 +493,34 @@ class ReplicaGroup:
         ]
 
     def _schedule_restart(self, index: int) -> None:
-        """Restart a replica on a background thread (at most one at a time)."""
+        """Restart a replica on a background thread (at most one at a time).
+
+        The revive honours the replica's capped exponential backoff: a
+        worker whose previous restart *failed* is not retried before its
+        ``restart_not_before`` instant, so a crash-looping binary costs a
+        bounded respawn rate (and one thread), not a thread per failed
+        batch.  ``close()`` wakes a waiting revive immediately.
+        """
         with self._lock:
-            if self._closed or index in self._restarting:
+            if self._closed or index in self._restarting or index in self._draining:
+                return
+            replica = self._by_index.get(index)
+            if replica is None:
                 return
             self._restarting.add(index)
 
         def revive() -> None:
             try:
-                if not self._closed:
-                    self._replicas[index].restart()
-            except BaseException as exc:  # noqa: BLE001 - recorded, retried by health checks
-                self._replicas[index].last_error = f"restart failed: {exc}"
+                delay = replica.restart_not_before - time.monotonic()
+                if delay > 0:
+                    self._closing.wait(delay)
+                if self._closed or index in self._draining or index not in self._by_index:
+                    return
+                try:
+                    replica.restart()
+                except BaseException as exc:  # noqa: BLE001 - recorded, retried with backoff
+                    replica.last_error = f"restart failed: {exc}"
+                    replica.note_restart_failure()
             finally:
                 with self._lock:
                     self._restarting.discard(index)
@@ -318,10 +548,12 @@ class ReplicaGroup:
                     index = self._router.select(views, exclude=tried)
                 except NoReplicaAvailableError as exc:
                     raise last or exc from None
-                replica = self._replicas[index]
+                replica = self._by_index[index]
                 replica.in_flight += 1
             # A replica that died *between* calls never fails a dispatch,
-            # so revive it opportunistically while traffic routes around it.
+            # so revive it opportunistically while traffic routes around
+            # it (draining replicas are already reported dead to the
+            # router and are never revived).
             for view in views:
                 if not view.alive and view.index not in tried:
                     self._schedule_restart(view.index)
@@ -358,7 +590,7 @@ class ReplicaGroup:
             idle = [view for view in self._views() if view.alive and view.in_flight == 0]
             if not idle:
                 raise NoReplicaAvailableError("no idle replica to rescue the shed request")
-            replica = self._replicas[min(idle, key=lambda v: (v.ewma_latency_ms, v.index)).index]
+            replica = self._by_index[min(idle, key=lambda v: (v.ewma_latency_ms, v.index)).index]
             replica.in_flight += 1
         try:
             result, _ = replica.call(payload[None])
@@ -380,17 +612,28 @@ class ReplicaGroup:
         Returns the per-replica liveness list *before* any restarts.
         Restarts run synchronously here (unlike the dispatch path's
         background restarts) so callers can treat a ``True``-free return
-        from a second call as "the fleet is really gone".
+        from a second call as "the fleet is really gone".  Replicas still
+        inside their restart-backoff window (or draining out of the
+        fleet) are skipped.
         """
-        health = [replica.ping() for replica in self._replicas]
+        with self._lock:
+            replicas = list(self._replicas)
+        health = [replica.ping() for replica in replicas]
         if restart_dead and not self._closed:
-            for replica, ok in zip(self._replicas, health):
-                if ok:
+            for replica, ok in zip(replicas, health):
+                if ok or time.monotonic() < replica.restart_not_before:
                     continue
                 with self._lock:
                     # Claim the restart slot under the lock so this never
-                    # races a dispatch-path background revive.
-                    if self._closed or replica.index in self._restarting:
+                    # races a dispatch-path background revive; a replica
+                    # that has left the membership (drained out) must not
+                    # be revived into a zombie.
+                    if (
+                        self._closed
+                        or replica.index in self._restarting
+                        or replica.index in self._draining
+                        or replica.index not in self._by_index
+                    ):
                         continue
                     self._restarting.add(replica.index)
                 try:
@@ -401,6 +644,7 @@ class ReplicaGroup:
                         replica.restart()
                 except Exception as exc:  # noqa: BLE001 - recorded for stats
                     replica.last_error = f"restart failed: {exc}"
+                    replica.note_restart_failure()
                 finally:
                     with self._lock:
                         self._restarting.discard(replica.index)
@@ -408,13 +652,26 @@ class ReplicaGroup:
 
     def stats(self) -> List[dict]:
         """Per-replica load/latency/failure breakdown (stable order)."""
-        return [replica.stats() for replica in self._replicas]
+        with self._lock:
+            replicas = list(self._replicas)
+            draining = set(self._draining)
+        return [{**replica.stats(), "draining": replica.index in draining} for replica in replicas]
+
+    def alive_count(self) -> int:
+        """Routable replicas right now (alive, not restarting, not draining)."""
+        with self._lock:
+            return sum(1 for view in self._views() if view.alive)
+
+    def total_in_flight(self) -> int:
+        """Fused batches currently dispatched across the whole fleet."""
+        with self._lock:
+            return sum(replica.in_flight for replica in self._replicas)
 
     def __len__(self) -> int:
         return len(self._replicas)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        alive = sum(1 for replica in self._replicas if replica.alive)
+        alive = sum(1 for replica in list(self._replicas) if replica.alive)
         state = "closed" if self._closed else ("started" if self._started else "idle")
         return (
             f"ReplicaGroup(name={self.name!r}, replicas={len(self._replicas)}, alive={alive}, "

@@ -56,9 +56,13 @@ class Replica:
         start_timeout_s: float = 120.0,
         ewma_alpha: float = 0.2,
         start_method: str = "spawn",
+        restart_backoff_s: float = 0.5,
+        restart_backoff_cap_s: float = 30.0,
     ):
         if call_timeout_s <= 0 or start_timeout_s <= 0:
             raise ValueError("timeouts must be > 0")
+        if restart_backoff_s <= 0 or restart_backoff_cap_s < restart_backoff_s:
+            raise ValueError("restart backoff must be > 0 and the cap must be >= the base")
         self.spec = spec
         self.index = int(index)
         self.handicap_s = float(handicap_s)
@@ -84,6 +88,16 @@ class Replica:
         self.dispatched = 0
         self.failures = 0
         self.restarts = 0
+        #: Consecutive *failed* restart attempts; a successful restart
+        #: resets it.  Drives the group's capped exponential backoff so a
+        #: worker that crash-loops on startup cannot respawn as fast as
+        #: batches fail.
+        self.restart_attempts = 0
+        self.restart_backoff_s = float(restart_backoff_s)
+        self.restart_backoff_cap_s = float(restart_backoff_cap_s)
+        #: Monotonic instant before which another restart attempt is
+        #: premature (the backoff window of the last failed attempt).
+        self.restart_not_before = 0.0
         self.ewma_latency_s = 0.0
         self.ewma_compute_s = 0.0
         self.last_error: Optional[str] = None
@@ -118,7 +132,26 @@ class Replica:
             self.meta = self.transport.start()
             self._ready = True
             self.restarts += 1
+            self.restart_attempts = 0
+            self.restart_not_before = 0.0
             return self
+
+    def note_restart_failure(self) -> float:
+        """Record a failed restart attempt; returns the next backoff delay.
+
+        The delay grows exponentially with consecutive failures
+        (``restart_backoff_s * 2**(attempts-1)``), capped at
+        ``restart_backoff_cap_s``; :attr:`restart_not_before` is pushed
+        out accordingly so every restart path (background revive, health
+        check) honours the same window.
+        """
+        self.restart_attempts += 1
+        delay = min(
+            self.restart_backoff_cap_s,
+            self.restart_backoff_s * (2.0 ** (self.restart_attempts - 1)),
+        )
+        self.restart_not_before = time.monotonic() + delay
+        return delay
 
     def close(self) -> None:
         """Stop the worker conversation (graceful ``stop``, then force)."""
@@ -223,6 +256,7 @@ class Replica:
             "dispatched": self.dispatched,
             "failures": self.failures,
             "restarts": self.restarts,
+            "restart_attempts": self.restart_attempts,
             "ewma_latency_ms": self.ewma_latency_s * 1000.0,
             "ewma_compute_ms": self.ewma_compute_s * 1000.0,
             "handicap_ms": self.handicap_s * 1000.0,

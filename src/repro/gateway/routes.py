@@ -128,10 +128,9 @@ def _health(gateway, keep_alive: bool) -> bytes:
 def _stats(gateway, keep_alive: bool) -> bytes:
     models = {}
     for name, stats in gateway.server.stats().items():
-        row = stats.as_dict()
-        if stats.replicas is not None:
-            row["replicas"] = stats.replicas
-        models[name] = row
+        # as_dict() already carries the per-replica breakdown and the
+        # autoscaler snapshot when the model has them.
+        models[name] = stats.as_dict()
     return json_response({"models": models, "gateway": gateway.limits.snapshot()}, keep_alive=keep_alive)
 
 

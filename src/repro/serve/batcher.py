@@ -92,6 +92,12 @@ class DynamicBatcher:
         server sets it to the replica count.  When the cap is reached the
         worker blocks -- exactly the backpressure signal that lets the
         queue (and ``ServerOverloadedError``) do their job.  Default 2.
+    stats_window:
+        Capacity of the telemetry percentile windows
+        (:class:`~repro.serve.metrics.BatcherStats`); defaults to the
+        monitoring default (1024).  Autoscaled models use a smaller
+        window so post-scaling traffic displaces stale samples quickly
+        enough for the control loop to see its own effect.
     shed_retry:
         Optional coroutine function ``async (payload) -> result_row``
         giving a request that is about to be shed on deadline one last
@@ -137,6 +143,7 @@ class DynamicBatcher:
         dispatch=None,
         shed_retry=None,
         max_concurrent_dispatches: int = 2,
+        stats_window: Optional[int] = None,
         name: str = "",
     ):
         if max_queue < 1:
@@ -172,7 +179,7 @@ class DynamicBatcher:
         self._worker: Optional[asyncio.Task] = None
         self._retry_tasks: set = set()
         self._closed = False
-        self._stats = BatcherStats()
+        self._stats = BatcherStats(stats_window) if stats_window is not None else BatcherStats()
 
     # ------------------------------------------------------------------ #
     # Lifecycle

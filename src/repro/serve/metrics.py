@@ -145,6 +145,9 @@ class BatcherStats:
         self.compute = PercentileWindow(window)
         #: Per-replica breakdown, attached by the server for cluster models.
         self.replicas = None
+        #: Autoscaler snapshot (:meth:`~repro.cluster.Autoscaler.snapshot`),
+        #: attached by the server for autoscaled models.
+        self.autoscaler = None
 
     # ------------------------------------------------------------------ #
     # Recording (called from the batcher's worker task)
@@ -204,6 +207,8 @@ class BatcherStats:
         }
         if self.replicas is not None:
             snapshot["replicas"] = list(self.replicas)
+        if self.autoscaler is not None:
+            snapshot["autoscaler"] = dict(self.autoscaler)
         return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

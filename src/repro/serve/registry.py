@@ -118,6 +118,20 @@ class SessionRegistry:
             raise UnknownModelError(f"no model registered under {name!r}")
         del self._sessions[name]
 
+    def demote(self, name: str) -> None:
+        """Move ``name`` to the LRU front: first in line for eviction.
+
+        The autoscaler's idle hook: a model idle past its timeout is
+        made the *preferred* victim of the next capacity eviction --
+        without dropping it now, while nothing needs its slot.  A later
+        :meth:`get` restores its recency like any other use.  Only
+        meaningful on a capacity-bounded registry, but harmless without
+        ``max_models``.
+        """
+        if name not in self._sessions:
+            raise UnknownModelError(f"no model registered under {name!r}")
+        self._sessions.move_to_end(name, last=False)
+
     def get(self, name: str):
         try:
             session = self._sessions[name]

@@ -27,6 +27,7 @@ serializes every model's FFT work through one interpreter.  See
 from __future__ import annotations
 
 import asyncio
+import logging
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -35,6 +36,8 @@ from repro.serve.batcher import BatcherStats, DynamicBatcher
 from repro.serve.errors import ServerClosedError
 from repro.serve.policy import BatchingPolicy
 from repro.serve.registry import SessionRegistry
+
+logger = logging.getLogger(__name__)
 
 
 def _as_replica_group(obj):
@@ -136,6 +139,20 @@ class InferenceServer:
         ``repro-worker`` processes over
         :class:`~repro.cluster.SocketTransport` to every cluster model
         (and permits ``replicas=0`` for a purely remote fleet).
+    autoscale:
+        Default elastic-fleet policy for cluster models: an
+        :class:`~repro.cluster.AutoscaleConfig` or a kwargs dict
+        (``{"slo_p99_ms": 50, "max_replicas": 4}``).  Each such model
+        gets its own :class:`~repro.cluster.Autoscaler` driven by a
+        periodic server task between :meth:`start` and :meth:`stop`,
+        growing/shrinking its replica group (drain-before-terminate) to
+        hold the p99 budget at minimum process count; decisions appear
+        in :meth:`stats` (``.autoscaler``) and ``GET /v1/stats``.
+        ``replicas`` is the *initial* fleet size -- an explicit
+        ``add_model(..., autoscale=...)`` wraps even a single-replica
+        model in a group (a model that cannot be sharded then fails with
+        ``TypeError``); in-process models simply ignore the server-wide
+        default.
 
     Thread/async-safety: the server is bound to the event loop that runs
     :meth:`start`; all coroutines must be awaited on that loop.
@@ -157,9 +174,14 @@ class InferenceServer:
         replicas: int = 1,
         router="round_robin",
         cluster_options: Optional[dict] = None,
+        autoscale=None,
     ):
         if replicas < 1 and not (cluster_options or {}).get("workers"):
             raise ValueError("replicas must be >= 1 (or name remote workers in cluster_options)")
+        if autoscale is not None:
+            from repro.cluster import AutoscaleConfig
+
+            autoscale = AutoscaleConfig.from_options(autoscale)
         self.registry = registry if registry is not None else SessionRegistry()
         self._default_policy = policy
         if policy is not None and not (isinstance(policy, BatchingPolicy) or callable(policy)):
@@ -176,6 +198,10 @@ class InferenceServer:
         self._default_replicas = int(replicas)
         self._default_router = router
         self._cluster_options = dict(cluster_options or {})
+        self._default_autoscale = autoscale
+        self._autoscale_cfgs: Dict[str, object] = {}  # name -> AutoscaleConfig
+        self._autoscalers: Dict[str, object] = {}  # name -> Autoscaler (while started)
+        self._autoscale_tasks: Dict[str, asyncio.Task] = {}
         self._overrides: Dict[str, dict] = {}
         self._policies: Dict[str, object] = {}
         # id(policy/router instance) -> model name, to refuse silently
@@ -203,6 +229,7 @@ class InferenceServer:
         idle_flush_ms: Optional[float] = None,
         replicas: Optional[int] = None,
         router=None,
+        autoscale=None,
         **session_kwargs,
     ):
         """Register a model (compiled on the spot), a session, or a group.
@@ -212,6 +239,11 @@ class InferenceServer:
         only; remaining ``session_kwargs`` (``dtype``, ``backend``, ...)
         go to ``repro.engine.compile`` when a model is given.  Returns
         the registered session.
+
+        ``autoscale`` (an :class:`~repro.cluster.AutoscaleConfig` or
+        kwargs dict) overrides the server-wide elastic-fleet policy for
+        this model and forces it onto a replica group even at
+        ``replicas=1`` (the initial fleet size).
 
         ``replicas``/``router`` override the server-wide sharding
         defaults: with an effective ``replicas >= 2`` the model is
@@ -258,6 +290,11 @@ class InferenceServer:
                     "policies are stateful -- pass a factory (e.g. lambda: SLOAwarePolicy(...)) "
                     "or a fresh instance per model"
                 )
+        explicit_autoscale = None
+        if autoscale is not None:
+            from repro.cluster import AutoscaleConfig
+
+            explicit_autoscale = AutoscaleConfig.from_options(autoscale)
         group = None
         if hasattr(model_or_session, "infer_sync"):  # quacks like a ReplicaGroup
             group = _as_replica_group(model_or_session)
@@ -270,7 +307,12 @@ class InferenceServer:
         if n_replicas < 1 and not remote_workers:
             raise ValueError("replicas must be >= 1 (or name remote workers in cluster_options)")
         router_instance = None
-        if group is None and (n_replicas >= 2 or remote_workers):
+        # An autoscaled model must be cluster-backed even at replicas=1:
+        # explicit autoscale= makes that a hard requirement, while the
+        # server-wide default merely *tries* (an unshardable in-process
+        # session falls back to serving without autoscaling).
+        must_cluster = n_replicas >= 2 or remote_workers or explicit_autoscale is not None
+        if group is None and (must_cluster or self._default_autoscale is not None):
             effective_router = router if router is not None else self._default_router
             if not isinstance(effective_router, str):
                 router_instance = effective_router
@@ -288,7 +330,13 @@ class InferenceServer:
             options = dict(self._cluster_options)
             if session_kwargs:
                 options["session_kwargs"] = session_kwargs
-            group = _build_group(model_or_session, n_replicas, effective_router, options, name)
+            try:
+                group = _build_group(model_or_session, n_replicas, effective_router, options, name)
+            except TypeError:
+                if must_cluster:
+                    raise
+                group = None  # in-process model; the autoscale default doesn't apply
+                router_instance = None
         if group is not None:
             session = self.registry.register(name, group, replace=replace)
         else:
@@ -308,6 +356,14 @@ class InferenceServer:
             displaced.close()
         if group is not None:
             self._groups[name] = group
+        effective_autoscale = explicit_autoscale
+        if effective_autoscale is None and group is not None:
+            effective_autoscale = self._default_autoscale
+        if effective_autoscale is not None:
+            self._autoscale_cfgs[name] = effective_autoscale
+        else:
+            self._autoscale_cfgs.pop(name, None)
+            self._autoscalers.pop(name, None)
         # Server-side bookkeeping must honor the registry's LRU bound:
         # names the registration just evicted (and that have no live
         # batcher keeping them serving) are gone for good, including any
@@ -316,6 +372,8 @@ class InferenceServer:
             if evicted not in self._batchers:
                 self._overrides.pop(evicted, None)
                 self._policies.pop(evicted, None)
+                self._autoscale_cfgs.pop(evicted, None)
+                self._autoscalers.pop(evicted, None)
                 stale = self._groups.pop(evicted, None)
                 if stale is not None:
                     stale.close()
@@ -340,6 +398,7 @@ class InferenceServer:
             if group is not None and not group.started:
                 group.start()
             self._batchers[name] = self._make_batcher(name).start()
+            self._start_autoscaler(name)
         return session
 
     def _make_batcher(self, name: str) -> DynamicBatcher:
@@ -359,6 +418,18 @@ class InferenceServer:
             # One outstanding batch per replica: full fleet utilization,
             # backpressure past that.
             options["max_concurrent_dispatches"] = max(1, len(group))
+            autoscale = self._autoscale_cfgs.get(name)
+            if autoscale is not None:
+                # The dispatch semaphore is fixed at construction, so an
+                # elastic fleet sizes it for the cap up front (a fleet
+                # below the cap simply backpressures through the replicas
+                # themselves); the smaller stats window lets post-scaling
+                # traffic displace stale percentile samples fast enough
+                # for the control loop to see its own effect.
+                options["max_concurrent_dispatches"] = max(
+                    1, len(group), autoscale.max_replicas
+                )
+                options["stats_window"] = autoscale.stats_window
         return DynamicBatcher(
             session,
             policy=policy,
@@ -414,7 +485,43 @@ class InferenceServer:
             for name in names:
                 if name not in self._batchers:
                     self._batchers[name] = self._make_batcher(name).start()
+            for name in list(self._autoscale_cfgs):
+                self._start_autoscaler(name)
         return self
+
+    def _start_autoscaler(self, name: str) -> None:
+        """Build the model's autoscaler and spawn its periodic driver task."""
+        config = self._autoscale_cfgs.get(name)
+        group = self._groups.get(name)
+        batcher = self._batchers.get(name)
+        if config is None or group is None or batcher is None or name in self._autoscale_tasks:
+            return
+        from repro.cluster import Autoscaler
+
+        scaler = Autoscaler(group, batcher.stats(), config, registry=self.registry, model=name)
+        self._autoscalers[name] = scaler
+        self._autoscale_tasks[name] = asyncio.get_running_loop().create_task(
+            self._autoscale_loop(scaler), name=f"repro-autoscale-{name}"
+        )
+
+    async def _autoscale_loop(self, scaler) -> None:
+        """Drive one autoscaler until :meth:`stop` cancels the task.
+
+        Each tick runs in the thread-pool executor -- membership changes
+        block for spawn/drain time, and the event loop must keep serving
+        traffic through them (that traffic is what the next decision
+        reads).  A failing tick is logged and the loop continues: the
+        control loop must outlive one bad evaluation.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(scaler.config.interval_s)
+            try:
+                await loop.run_in_executor(None, scaler.step)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                logger.exception("autoscaler %r: step failed; continuing", scaler.model)
 
     async def stop(self) -> None:
         """Drain every batcher, terminate replica workers, refuse new requests.
@@ -428,6 +535,16 @@ class InferenceServer:
             return
         self._closed = True
         self._started = False
+        # Autoscalers first: a membership change racing the shutdown
+        # would spawn workers the close sweep below never sees.  A tick
+        # already running in the executor cannot be interrupted, but
+        # ReplicaGroup.close() serializes with it on the membership lock.
+        tasks = list(self._autoscale_tasks.values())
+        self._autoscale_tasks.clear()
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
         batchers = list(self._batchers.values())
         self._batchers.clear()
         await asyncio.gather(*(batcher.stop() for batcher in batchers))
@@ -526,6 +643,7 @@ class InferenceServer:
                     "dtype": meta.get("dtype"),
                     "replicas": len(group),
                     "router": group.router_name,
+                    "autoscale": name in self._autoscale_cfgs,
                 }
                 continue
             batcher = self._batchers.get(name)
@@ -540,6 +658,7 @@ class InferenceServer:
                 "dtype": dtype.name if dtype is not None else None,
                 "replicas": 1,
                 "router": None,
+                "autoscale": False,
             }
         return models
 
@@ -562,6 +681,8 @@ class InferenceServer:
             stats = batcher.stats()
             group = self._groups.get(name)
             stats.replicas = group.stats() if group is not None else None
+            scaler = self._autoscalers.get(name)
+            stats.autoscaler = scaler.snapshot() if scaler is not None else None
             snapshot[name] = stats
         return snapshot
 
