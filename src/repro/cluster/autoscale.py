@@ -204,14 +204,30 @@ class Autoscaler:
         Optional :class:`~repro.serve.SessionRegistry` + model name for
         the idle-demotion path; ignored unless the registry is
         capacity-bounded and ``idle_timeout_s`` is set.
+    clock:
+        Monotonic time source for cooldown/idle bookkeeping when
+        :meth:`evaluate`/:meth:`step` are called without an explicit
+        ``now``.  Tests inject a fake so cooldown assertions advance
+        virtual time instead of sleeping; production runs on
+        ``time.monotonic``.
     """
 
-    def __init__(self, group, stats, config: AutoscaleConfig, *, registry=None, model: Optional[str] = None):
+    def __init__(
+        self,
+        group,
+        stats,
+        config: AutoscaleConfig,
+        *,
+        registry=None,
+        model: Optional[str] = None,
+        clock=None,
+    ):
         self.group = group
         self.stats = stats
         self.config = config
         self.model = model or getattr(group, "name", "model")
         self._registry = registry
+        self._clock = clock if clock is not None else time.monotonic
         self._lock = threading.Lock()
         self._last_up_at: Optional[float] = None
         self._last_down_at: Optional[float] = None
@@ -237,7 +253,7 @@ class Autoscaler:
         Reads telemetry and updates idle bookkeeping but never touches
         the fleet, so tests can drive the law directly against fakes.
         """
-        now = time.monotonic() if now is None else now
+        now = self._clock() if now is None else now
         cfg = self.config
         fleet = len(self.group)
         in_flight = int(self.group.total_in_flight())
@@ -312,7 +328,7 @@ class Autoscaler:
         logged and counted (``errors``), never raised: the control loop
         must outlive one bad spawn.
         """
-        now = time.monotonic() if now is None else now
+        now = self._clock() if now is None else now
         verdict = self.evaluate(now)
         if verdict.action == "up":
             self._resize(verdict, now)

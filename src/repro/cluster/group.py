@@ -142,6 +142,7 @@ class ReplicaGroup:
         close_timeout_s: float = 60.0,
         start_method: str = "spawn",
         name: str = "",
+        clock=None,
     ):
         workers = list(workers or [])
         if replicas < 0:
@@ -163,6 +164,11 @@ class ReplicaGroup:
         self._restart_backoff_s = float(restart_backoff_s)
         self._restart_backoff_cap_s = float(restart_backoff_cap_s)
         self._start_method = start_method
+        #: Monotonic time source for restart-backoff decisions (injected by
+        #: tests; real deployments run on ``time.monotonic``).  Drain and
+        #: close deadlines deliberately stay on wall time -- they bound
+        #: real worker behavior, not control-law bookkeeping.
+        self._clock = clock if clock is not None else time.monotonic
         handicaps = handicaps or {}
         self._replicas: List[Replica] = [
             self._new_local_replica(index, handicap_s=float(handicaps.get(index, 0.0)))
@@ -185,6 +191,7 @@ class ReplicaGroup:
                     start_timeout_s=self._start_timeout_s,
                     restart_backoff_s=self._restart_backoff_s,
                     restart_backoff_cap_s=self._restart_backoff_cap_s,
+                    clock=self._clock,
                 )
             )
         self._lock = threading.Lock()  # in-flight counters + restart/drain flags
@@ -197,9 +204,9 @@ class ReplicaGroup:
         self._started = False
         self._closed = False
 
-    def _new_local_replica(self, index: int, *, handicap_s: float = 0.0) -> Replica:
+    def _new_local_replica(self, index: int, *, handicap_s: float = 0.0, spec=None) -> Replica:
         return Replica(
-            self.spec,
+            spec if spec is not None else self.spec,
             index,
             handicap_s=handicap_s,
             call_timeout_s=self._call_timeout_s,
@@ -207,6 +214,7 @@ class ReplicaGroup:
             start_method=self._start_method,
             restart_backoff_s=self._restart_backoff_s,
             restart_backoff_cap_s=self._restart_backoff_cap_s,
+            clock=self._clock,
         )
 
     # ------------------------------------------------------------------ #
@@ -313,13 +321,15 @@ class ReplicaGroup:
     # ------------------------------------------------------------------ #
     # Elastic membership
     # ------------------------------------------------------------------ #
-    def add_replica(self, *, handicap_s: float = 0.0) -> int:
+    def add_replica(self, *, handicap_s: float = 0.0, spec=None) -> int:
         """Grow the fleet by one local worker; returns its index.
 
         On a started group the worker is spawned (and its session
         compiled) *before* it joins the routing table, so the router
         never selects a replica that cannot serve.  On an idle group the
         replica is appended unstarted and boots with :meth:`start`.
+        ``spec`` overrides the group's spec for this one worker -- the
+        seam :meth:`swap_spec` rolls new versions in through.
         """
         with self._membership:
             if self._closed:
@@ -327,7 +337,7 @@ class ReplicaGroup:
             with self._lock:
                 index = self._next_index
                 self._next_index += 1
-            replica = self._new_local_replica(index, handicap_s=float(handicap_s))
+            replica = self._new_local_replica(index, handicap_s=float(handicap_s), spec=spec)
             if self._started:
                 replica.start()
             with self._lock:
@@ -433,6 +443,82 @@ class ReplicaGroup:
                     raise errors[0]
             return len(self)
 
+    def swap_spec(self, spec, *, drain_timeout_s: Optional[float] = None) -> int:
+        """Zero-downtime rolling swap: rebuild every replica from ``spec``.
+
+        On a started group each member is replaced spawn-then-publish /
+        drain-then-retire: the new-version worker boots (and compiles)
+        *before* it joins the routing table, and only then is one
+        old-version worker hidden from the router, drained of its
+        in-flight calls, and terminated -- capacity never dips below the
+        pre-swap fleet size and no accepted request is dropped.  Remote
+        ``repro-worker`` replicas are drained and *reconnected* with the
+        new spec instead (their init handshake carries it).  Later
+        growth (:meth:`add_replica`, :meth:`scale_to`, the autoscaler)
+        spawns the new version.  Returns the fleet size.
+
+        Serialized with all other membership changes; a failed new-worker
+        spawn propagates with the old fleet still intact and serving.
+        """
+        with self._membership:
+            if self._closed:
+                raise RuntimeError(f"replica group {self.name!r} is closed")
+            self.spec = spec
+            if not self._started:
+                # Idle fleet: retarget the unstarted members in place;
+                # they compile the new version on start().
+                with self._lock:
+                    replicas = list(self._replicas)
+                for replica in replicas:
+                    replica.spec = spec
+                    replica.transport.spec = spec
+                return len(self)
+            with self._lock:
+                outgoing = list(self._replicas)
+            for replica in outgoing:
+                if isinstance(replica.transport, LocalTransport):
+                    self.add_replica(handicap_s=replica.handicap_s, spec=spec)
+                    self.remove_replica(replica.index, drain_timeout_s=drain_timeout_s)
+                else:
+                    self._swap_remote(replica, spec, drain_timeout_s)
+            return len(self)
+
+    def _swap_remote(self, replica: Replica, spec, drain_timeout_s: Optional[float]) -> None:
+        """Drain one socket-attached replica, then reconnect it on ``spec``.
+
+        A remote worker is externally-owned capacity -- there is no
+        second process to spawn-then-publish into, so the swap is a
+        drained reconnect: hidden from the router, in-flight calls
+        complete, then the fresh connection's init frame carries the new
+        spec.  Siblings keep serving throughout.
+        """
+        timeout = self.drain_timeout_s if drain_timeout_s is None else float(drain_timeout_s)
+        with self._lock:
+            self._draining.add(replica.index)
+        try:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline and not self._closed:
+                with self._lock:
+                    if replica.in_flight == 0 and replica.index not in self._restarting:
+                        break
+                self._closing.wait(0.01)
+            else:
+                if not self._closed:
+                    logger.warning(
+                        "replica group %r: remote replica %d still busy after the %.1fs "
+                        "swap drain; reconnecting it anyway",
+                        self.name,
+                        replica.index,
+                        timeout,
+                    )
+            replica.spec = spec
+            replica.transport.spec = spec
+            if not self._closed:
+                replica.restart()
+        finally:
+            with self._lock:
+                self._draining.discard(replica.index)
+
     # ------------------------------------------------------------------ #
     # Session-like facade (what the serving layer's plumbing touches)
     # ------------------------------------------------------------------ #
@@ -511,7 +597,7 @@ class ReplicaGroup:
 
         def revive() -> None:
             try:
-                delay = replica.restart_not_before - time.monotonic()
+                delay = replica.restart_not_before - self._clock()
                 if delay > 0:
                     self._closing.wait(delay)
                 if self._closed or index in self._draining or index not in self._by_index:
@@ -621,7 +707,7 @@ class ReplicaGroup:
         health = [replica.ping() for replica in replicas]
         if restart_dead and not self._closed:
             for replica, ok in zip(replicas, health):
-                if ok or time.monotonic() < replica.restart_not_before:
+                if ok or self._clock() < replica.restart_not_before:
                     continue
                 with self._lock:
                     # Claim the restart slot under the lock so this never

@@ -42,7 +42,7 @@ from repro.cluster.worker import probe_session, run_batch
 __all__ = ["WorkerServer", "serve", "main"]
 
 
-def _serve_connection(conn: socket.socket) -> None:
+def _serve_connection(conn: socket.socket, store_root: Optional[str] = None) -> None:
     """Answer one parent conversation: init handshake, then the call loop."""
     buffer = FrameBuffer()
     try:
@@ -58,6 +58,11 @@ def _serve_connection(conn: socket.socket) -> None:
     _, spec, options = message
     options = options or {}
     handicap_s = float(options.get("handicap_s") or 0.0)
+    if store_root is not None and hasattr(spec, "with_location"):
+        # A store ref minted against the *parent's* path: re-root it onto
+        # this host's replica of the store (--store).  The pinned content
+        # hash still guards the load, so a stale replica fails loudly.
+        spec = spec.with_location(store_root)
     try:
         session = spec.build()
         meta = probe_session(session)
@@ -103,11 +108,15 @@ class WorkerServer:
     ``port=0``) and from the CLI (:func:`main`).
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, store_root: Optional[str] = None):
         self._listener = socket.create_server((host, port), reuse_port=False)
         self._listener.settimeout(0.2)  # makes close() observable in accept loops
         self._closed = False
         self.host = host
+        #: Local model-store root (``--store``): init frames carrying a
+        #: :class:`~repro.store.StoreRef` are re-rooted here, so the
+        #: worker cold-starts from its own disk instead of the parent's.
+        self.store_root = store_root
 
     @property
     def port(self) -> int:
@@ -132,7 +141,7 @@ class WorkerServer:
             except OSError:  # pragma: no cover - platform-dependent
                 pass
             try:
-                _serve_connection(conn)
+                _serve_connection(conn, self.store_root)
             finally:
                 try:
                     conn.close()
@@ -165,9 +174,16 @@ class WorkerServer:
         self.close()
 
 
-def serve(host: str = "127.0.0.1", port: int = 0, *, once: bool = False, quiet: bool = False) -> None:
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    once: bool = False,
+    quiet: bool = False,
+    store_root: Optional[str] = None,
+) -> None:
     """Blocking convenience wrapper: listen and serve until interrupted."""
-    with WorkerServer(host, port) as server:
+    with WorkerServer(host, port, store_root=store_root) as server:
         if not quiet:
             print(f"repro-worker listening on {server.address}", flush=True)
         server.serve_forever(once=once)
@@ -182,6 +198,13 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--port", type=int, default=7070, help="port to bind; 0 = ephemeral (default %(default)s)")
     parser.add_argument("--once", action="store_true", help="serve a single conversation, then exit")
     parser.add_argument("--quiet", action="store_true", help="do not print the bound address")
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="local model-store root: StoreRef init frames load from this replica "
+        "of the store instead of the parent's path",
+    )
     args = parser.parse_args(argv)
     # Exit cleanly on SIGTERM so supervisors (and `timeout`) see rc 0 paths.
     try:
@@ -189,7 +212,7 @@ def main(argv: Optional[list] = None) -> int:
     except (ValueError, OSError):  # pragma: no cover - non-main thread / platform
         pass
     try:
-        serve(args.host, args.port, once=args.once, quiet=args.quiet)
+        serve(args.host, args.port, once=args.once, quiet=args.quiet, store_root=args.store)
     except KeyboardInterrupt:
         pass
     return 0

@@ -58,12 +58,17 @@ class Replica:
         start_method: str = "spawn",
         restart_backoff_s: float = 0.5,
         restart_backoff_cap_s: float = 30.0,
+        clock=None,
     ):
         if call_timeout_s <= 0 or start_timeout_s <= 0:
             raise ValueError("timeouts must be > 0")
         if restart_backoff_s <= 0 or restart_backoff_cap_s < restart_backoff_s:
             raise ValueError("restart backoff must be > 0 and the cap must be >= the base")
         self.spec = spec
+        #: Monotonic time source for the restart-backoff window.  Injected
+        #: by tests so backoff assertions need not sleep real wall-time;
+        #: production always runs on ``time.monotonic``.
+        self.clock = clock if clock is not None else time.monotonic
         self.index = int(index)
         self.handicap_s = float(handicap_s)
         self.call_timeout_s = float(call_timeout_s)
@@ -150,7 +155,7 @@ class Replica:
             self.restart_backoff_cap_s,
             self.restart_backoff_s * (2.0 ** (self.restart_attempts - 1)),
         )
-        self.restart_not_before = time.monotonic() + delay
+        self.restart_not_before = self.clock() + delay
         return delay
 
     def close(self) -> None:

@@ -18,11 +18,19 @@ outputs match the originating session bit-for-bit (see
 
 from __future__ import annotations
 
+import hashlib
+import json
 import pickle
 from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = ["SessionSpec"]
+
+#: Canonical-serialization magic + format version.  Bump the version when
+#: the header schema changes; old stores then fail loudly instead of
+#: silently misparsing (``repro.store`` verifies hashes over these bytes).
+_CANONICAL_MAGIC = b"repro-spec"
+_CANONICAL_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -86,6 +94,72 @@ class SessionSpec:
         from repro.engine.session import compile as engine_compile
 
         return engine_compile(self)
+
+    # ------------------------------------------------------------------ #
+    # Canonical serialization (what repro.store hashes and persists)
+    # ------------------------------------------------------------------ #
+    def canonical_bytes(self) -> bytes:
+        """Deterministic byte serialization of this spec.
+
+        Layout: ``magic \\0 header-json \\0 model_blob``, where the header
+        carries every non-blob field with sorted keys -- so two specs with
+        identical fields serialize to identical bytes, and
+        :meth:`content_hash` is stable across processes and re-publishes.
+        The model blob is included verbatim: it is already deterministic
+        for a given trained model (plain numpy parameter arrays pickled at
+        a fixed protocol).
+        """
+        header = {
+            "format": _CANONICAL_FORMAT,
+            "model_type": self.model_type,
+            "batch_size": self.batch_size,
+            "backend": self.backend,
+            "workers": self.workers,
+            "dtype": self.dtype,
+            "optimize": self.optimize,
+        }
+        header_bytes = json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
+        return b"\x00".join((_CANONICAL_MAGIC, header_bytes, self.model_blob))
+
+    def content_hash(self) -> str:
+        """Hex SHA-256 of :meth:`canonical_bytes` -- the spec's identity.
+
+        ``repro.store`` keys blobs by this digest (content addressing):
+        publishing the same spec twice writes one blob, and a load whose
+        bytes do not hash back to the manifest's digest is refused.
+        """
+        return hashlib.sha256(self.canonical_bytes()).hexdigest()
+
+    @classmethod
+    def from_canonical_bytes(cls, data: bytes) -> "SessionSpec":
+        """Rebuild a spec from :meth:`canonical_bytes` output.
+
+        Raises ``ValueError`` for bytes that are not a canonical spec
+        serialization (wrong magic, undecodable header, unknown format) --
+        the store wraps that into its integrity error.
+        """
+        magic, _, rest = bytes(data).partition(b"\x00")
+        if magic != _CANONICAL_MAGIC or not rest:
+            raise ValueError("not a canonical SessionSpec serialization (bad magic)")
+        header_bytes, _, blob = rest.partition(b"\x00")
+        try:
+            header = json.loads(header_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"canonical SessionSpec header is unreadable: {exc}") from exc
+        if header.get("format") != _CANONICAL_FORMAT:
+            raise ValueError(
+                f"unsupported canonical SessionSpec format {header.get('format')!r} "
+                f"(this build reads format {_CANONICAL_FORMAT})"
+            )
+        return cls(
+            model_blob=blob,
+            model_type=str(header["model_type"]),
+            batch_size=int(header["batch_size"]),
+            backend=str(header["backend"]),
+            workers=header["workers"],
+            dtype=str(header["dtype"]),
+            optimize=str(header["optimize"]),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -40,6 +40,7 @@ from repro.serve import (
     ServerOverloadedError,
     UnknownModelError,
 )
+from repro.store import StoreIntegrityError, VersionNotFoundError
 
 __all__ = ["GatewayClient", "GatewayError"]
 
@@ -61,6 +62,8 @@ _ERROR_TYPES = {
     "unknown_model": UnknownModelError,
     "unavailable": ServerClosedError,
     "too_many_connections": ServerOverloadedError,
+    "unknown_version": VersionNotFoundError,
+    "store_integrity": StoreIntegrityError,
 }
 
 _Conn = Tuple[asyncio.StreamReader, asyncio.StreamWriter]
@@ -176,6 +179,19 @@ class GatewayClient:
         status, _, body = await self._request("POST", f"/v1/models/{model}/infer", request)
         self._raise_for_error(status, body)
         return np.asarray(body["outputs"], dtype=float)
+
+    async def swap_model(self, model: str, version=None) -> dict:
+        """``POST /v1/models/{model}/swap`` -- roll onto another stored version.
+
+        ``version`` follows :meth:`repro.store.ModelStore.resolve`:
+        ``None``/``"latest"``, ``"vN"``/``N``, or a content-hash prefix.
+        Returns the gateway's swap summary (new version tag, content
+        hash, replica count, ``changed`` flag).
+        """
+        payload = {} if version is None else {"version": version}
+        status, _, body = await self._request("POST", f"/v1/models/{model}/swap", payload)
+        self._raise_for_error(status, body)
+        return body
 
     async def models(self) -> List[dict]:
         status, _, body = await self._request("GET", "/v1/models")

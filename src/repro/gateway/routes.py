@@ -9,6 +9,7 @@ method     path                            answers
 ``GET``    ``/v1/models``                  static per-model metadata
 ``GET``    ``/v1/stats``                   batcher/replica/gateway counters
 ``POST``   ``/v1/models/{name}/infer``     run inference (single or batch)
+``POST``   ``/v1/models/{name}/swap``      zero-downtime version swap
 =========  ==============================  =================================
 
 Handlers speak :class:`~repro.gateway.codec.ApiError` for refusals; the
@@ -34,6 +35,7 @@ from repro.gateway.codec import (
     ApiError,
     HttpRequest,
     decode_infer_payload,
+    decode_json_body,
     error_response,
     json_response,
 )
@@ -71,6 +73,17 @@ def map_exception(exc: BaseException, retry_after_s: float = 1.0) -> ApiError:
         # Replica crashes/timeouts surviving the group's retry budget:
         # the backend fleet is unhealthy, not the request.
         return ApiError(503, "unavailable", str(exc) or "no replica available", retry_after_s=retry_after_s)
+    try:
+        from repro.store import ModelNotFoundError, StoreIntegrityError, VersionNotFoundError
+    except Exception:  # pragma: no cover - store is part of this package
+        ModelNotFoundError = VersionNotFoundError = StoreIntegrityError = ()  # type: ignore[assignment]
+    if isinstance(exc, (ModelNotFoundError, VersionNotFoundError)):
+        # The swap target does not exist: the request is at fault (404),
+        # the fleet keeps serving its current version.
+        return ApiError(404, "unknown_version", str(exc) or "no such model version")
+    if isinstance(exc, StoreIntegrityError):
+        # Stored bytes failed verification: the store is unhealthy.
+        return ApiError(502, "store_integrity", str(exc) or "model store failed verification")
     return ApiError(500, "internal", f"{type(exc).__name__}: {exc}")
 
 
@@ -91,6 +104,10 @@ async def dispatch(gateway, request: HttpRequest) -> bytes:
         if name is not None:
             _require_method(request, "POST")
             return await _infer(gateway, name, request, keep_alive)
+        name = _model_action_name(request.path, "/swap")
+        if name is not None:
+            _require_method(request, "POST")
+            return await _swap(gateway, name, request, keep_alive)
         raise ApiError(404, "not_found", f"no route for {request.path}")
     except ApiError as error:
         return error_response(error, keep_alive=keep_alive)
@@ -105,7 +122,12 @@ def _require_method(request: HttpRequest, method: str) -> None:
 
 def _infer_model_name(path: str) -> Optional[str]:
     """``/v1/models/{name}/infer`` -> ``name`` (URL-decoded), else ``None``."""
-    prefix, suffix = "/v1/models/", "/infer"
+    return _model_action_name(path, "/infer")
+
+
+def _model_action_name(path: str, suffix: str) -> Optional[str]:
+    """``/v1/models/{name}{suffix}`` -> ``name`` (URL-decoded), else ``None``."""
+    prefix = "/v1/models/"
     if not (path.startswith(prefix) and path.endswith(suffix)):
         return None
     name = path[len(prefix) : -len(suffix)]
@@ -160,3 +182,21 @@ async def _infer(gateway, name: str, request: HttpRequest, keep_alive: bool) -> 
         stacked = np.stack(results, axis=0) if results else np.empty((0,))
         body = {"model": name, "outputs": stacked, "count": len(results), "latency_ms": latency_ms}
     return json_response(body, keep_alive=keep_alive)
+
+
+async def _swap(gateway, name: str, request: HttpRequest, keep_alive: bool) -> bytes:
+    """Roll ``name`` onto another stored version; in-flight traffic keeps flowing."""
+    payload = decode_json_body(request.body) if request.body else {}
+    unknown = sorted(set(payload) - {"version"})
+    if unknown:
+        raise ApiError(
+            400, "invalid_request", f"unknown field(s) {unknown}; the swap body takes only 'version'"
+        )
+    version = payload.get("version")
+    if version is not None and not isinstance(version, (str, int)):
+        raise ApiError(400, "invalid_request", "'version' must be a string tag or an integer")
+    try:
+        summary = await gateway.server.swap_model(name, version)
+    except Exception as exc:  # noqa: BLE001 - mapped onto the HTTP taxonomy
+        raise map_exception(exc, gateway.limits.retry_after_s) from exc
+    return json_response(summary, keep_alive=keep_alive)

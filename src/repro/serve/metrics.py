@@ -148,6 +148,10 @@ class BatcherStats:
         #: Autoscaler snapshot (:meth:`~repro.cluster.Autoscaler.snapshot`),
         #: attached by the server for autoscaled models.
         self.autoscaler = None
+        #: Store identity (:meth:`~repro.store.StoreRef.describe`: name,
+        #: pinned version, content hash), attached by the server for
+        #: store-backed models -- ``swap_model`` flips it atomically.
+        self.store = None
 
     # ------------------------------------------------------------------ #
     # Recording (called from the batcher's worker task)
@@ -209,6 +213,8 @@ class BatcherStats:
             snapshot["replicas"] = list(self.replicas)
         if self.autoscaler is not None:
             snapshot["autoscaler"] = dict(self.autoscaler)
+        if self.store is not None:
+            snapshot["store"] = dict(self.store)
         return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

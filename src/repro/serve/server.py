@@ -51,13 +51,31 @@ def _as_replica_group(obj):
     return obj if isinstance(obj, ReplicaGroup) else None
 
 
+def _as_store_ref(obj):
+    """``obj`` when it quacks like a :class:`~repro.store.StoreRef`, else ``None``."""
+    if callable(getattr(obj, "load_spec", None)) and hasattr(obj, "content_hash"):
+        return obj
+    return None
+
+
 def _build_group(model_or_session, replicas: int, router, cluster_options: dict, name: str):
     """Spec out ``model_or_session`` and wrap it in an (unstarted) group."""
     from repro.cluster import ReplicaGroup
     from repro.engine.spec import SessionSpec
 
     session_kwargs = dict(cluster_options.pop("session_kwargs", {}))
-    if hasattr(model_or_session, "export_session"):
+    if _as_store_ref(model_or_session) is not None:
+        # A pinned store version: the ref itself is the "spec" -- each
+        # worker cold-starts by pulling the hash-verified bytes from the
+        # store, so no model object (or multi-MB pickle) ever crosses
+        # the parent's pipes.
+        if session_kwargs:
+            raise ValueError(
+                f"session options {sorted(session_kwargs)} cannot apply to a store "
+                "reference; they were fixed when the spec was published"
+            )
+        spec = model_or_session
+    elif hasattr(model_or_session, "export_session"):
         # A trainable model: snapshot it into a spec (replicas then
         # rebuild their sessions via repro.engine.compile(spec)).
         spec = SessionSpec.from_model(model_or_session, **session_kwargs)
@@ -153,6 +171,16 @@ class InferenceServer:
         model in a group (a model that cannot be sharded then fails with
         ``TypeError``); in-process models simply ignore the server-wide
         default.
+    store:
+        Optional :class:`~repro.store.ModelStore` (or a directory path,
+        wrapped on the spot).  Lets :meth:`add_model` take
+        ``"name@version"`` strings and :class:`~repro.store.StoreRef`
+        objects -- replicas then cold-start from the store with no live
+        model in this process -- and enables
+        :meth:`swap_model(name, version) <swap_model>`, the
+        zero-downtime rolling version swap.  A server-owned registry is
+        store-attached too, so LRU-evicted store-backed models rebuild
+        from disk on their next use.
 
     Thread/async-safety: the server is bound to the event loop that runs
     :meth:`start`; all coroutines must be awaited on that loop.
@@ -175,6 +203,7 @@ class InferenceServer:
         router="round_robin",
         cluster_options: Optional[dict] = None,
         autoscale=None,
+        store=None,
     ):
         if replicas < 1 and not (cluster_options or {}).get("workers"):
             raise ValueError("replicas must be >= 1 (or name remote workers in cluster_options)")
@@ -182,7 +211,12 @@ class InferenceServer:
             from repro.cluster import AutoscaleConfig
 
             autoscale = AutoscaleConfig.from_options(autoscale)
-        self.registry = registry if registry is not None else SessionRegistry()
+        if store is not None and not hasattr(store, "ref"):
+            from repro.store import ModelStore
+
+            store = ModelStore(store)
+        self.store = store
+        self.registry = registry if registry is not None else SessionRegistry(store=store)
         self._default_policy = policy
         if policy is not None and not (isinstance(policy, BatchingPolicy) or callable(policy)):
             raise TypeError(
@@ -210,6 +244,7 @@ class InferenceServer:
         self._router_owners: Dict[int, str] = {}
         self._batchers: Dict[str, DynamicBatcher] = {}
         self._groups: Dict[str, object] = {}  # name -> ReplicaGroup (cluster models)
+        self._model_refs: Dict[str, object] = {}  # name -> StoreRef (store-backed models)
         self._started = False
         self._closed = False
 
@@ -275,6 +310,14 @@ class InferenceServer:
             # (worker task + pinned session) -- exactly the unbounded
             # growth ``max_models`` exists to prevent.
             raise RuntimeError("stop the server before replacing a live model")
+        if isinstance(model_or_session, str):
+            resolver = self.store if self.store is not None else getattr(self.registry, "store", None)
+            if resolver is None:
+                raise TypeError(
+                    f"cannot register the string {model_or_session!r}: string model "
+                    "references need InferenceServer(store=...)"
+                )
+            model_or_session = resolver.ref(model_or_session)
         spec = policy if policy is not None else self._default_policy
         if isinstance(spec, BatchingPolicy):
             # Policies are stateful (EWMA latency model, AIMD target): one
@@ -341,6 +384,11 @@ class InferenceServer:
             session = self.registry.register(name, group, replace=replace)
         else:
             session = self.registry.register(name, model_or_session, replace=replace, **session_kwargs)
+        ref = _as_store_ref(model_or_session)
+        if ref is not None:
+            self._model_refs[name] = ref
+        else:
+            self._model_refs.pop(name, None)
         # Registration succeeded: only now record instance ownership, so a
         # refused or failed add leaves stateful policies/routers unclaimed.
         if isinstance(spec, BatchingPolicy):
@@ -374,6 +422,9 @@ class InferenceServer:
                 self._policies.pop(evicted, None)
                 self._autoscale_cfgs.pop(evicted, None)
                 self._autoscalers.pop(evicted, None)
+                # Server bookkeeping only: the *registry* keeps its own
+                # pinned ref, so a store-backed eviction stays reversible.
+                self._model_refs.pop(evicted, None)
                 stale = self._groups.pop(evicted, None)
                 if stale is not None:
                     stale.close()
@@ -400,6 +451,62 @@ class InferenceServer:
             self._batchers[name] = self._make_batcher(name).start()
             self._start_autoscaler(name)
         return session
+
+    async def swap_model(self, name: str, version=None) -> dict:
+        """Zero-downtime rolling swap of a cluster model to a stored version.
+
+        Resolves ``version`` (``"latest"``, ``"vN"``, an int, or a
+        content-hash prefix) in the server's store under the model's
+        published name, then rolls the new version through the model's
+        :class:`~repro.cluster.ReplicaGroup` spawn-then-publish /
+        drain-then-retire (see
+        :meth:`~repro.cluster.ReplicaGroup.swap_spec`): capacity never
+        dips, no accepted request is dropped, and traffic keeps flowing
+        through the swap.  The batcher, its queue, stats and policy all
+        survive -- only the worker processes change -- and :meth:`stats`
+        /:meth:`describe` report the new version once the roll completes
+        (a monotonic flip: old version until done, new version after).
+
+        Returns a summary dict (``model``, ``version``,
+        ``content_hash``, ``replicas``).  Raises
+        :class:`UnknownModelError` for unknown names, ``ValueError`` for
+        in-process models (nothing to roll -- re-register instead) or a
+        store-less server, and the store's typed errors for unknown
+        versions.  Safe to call before :meth:`start` (the idle fleet is
+        retargeted and compiles the new version on start).
+        """
+        if self._closed:
+            raise ServerClosedError("server is stopped")
+        resolver = self.store if self.store is not None else getattr(self.registry, "store", None)
+        if resolver is None:
+            raise ValueError("swap_model needs a model store (InferenceServer(store=...))")
+        group = self._groups.get(name)
+        if group is None:
+            self.registry.get(name)  # raises UnknownModelError for unknown names
+            raise ValueError(
+                f"model {name!r} serves in-process; rolling swaps need a replica group "
+                "(add it with replicas >= 2, autoscale=..., or remote workers)"
+            )
+        previous = self._model_refs.get(name)
+        store_name = previous.name if previous is not None else name
+        ref = resolver.ref(store_name, version)
+        if previous is not None and ref.content_hash == previous.content_hash:
+            return {"model": name, **ref.describe(), "replicas": len(group), "changed": False}
+        if self._started:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, group.swap_spec, ref)
+        else:
+            group.swap_spec(ref)
+        self._model_refs[name] = ref
+        logger.info(
+            "model %r: swapped to %s@%s (sha256-%.12s...) across %d replica(s)",
+            name,
+            ref.name,
+            ref.version_tag,
+            ref.content_hash,
+            len(group),
+        )
+        return {"model": name, **ref.describe(), "replicas": len(group), "changed": True}
 
     def _make_batcher(self, name: str) -> DynamicBatcher:
         group = self._groups.get(name)
@@ -631,6 +738,8 @@ class InferenceServer:
         names.extend(name for name in self._batchers if name not in names)
         models: Dict[str, dict] = {}
         for name in sorted(set(names)):
+            ref = self._model_refs.get(name)
+            version = ref.describe() if ref is not None else None
             group = self._groups.get(name)
             if group is not None:
                 meta = group.meta or {}
@@ -644,6 +753,7 @@ class InferenceServer:
                     "replicas": len(group),
                     "router": group.router_name,
                     "autoscale": name in self._autoscale_cfgs,
+                    "store": version,
                 }
                 continue
             batcher = self._batchers.get(name)
@@ -659,6 +769,7 @@ class InferenceServer:
                 "replicas": 1,
                 "router": None,
                 "autoscale": False,
+                "store": version,
             }
         return models
 
@@ -683,6 +794,8 @@ class InferenceServer:
             stats.replicas = group.stats() if group is not None else None
             scaler = self._autoscalers.get(name)
             stats.autoscaler = scaler.snapshot() if scaler is not None else None
+            ref = self._model_refs.get(name)
+            stats.store = ref.describe() if ref is not None else None
             snapshot[name] = stats
         return snapshot
 

@@ -1,0 +1,38 @@
+"""Error types of the model store.
+
+Everything derives from :class:`StoreError` so callers can catch one
+base class.  Integrity failures are their own type: a blob whose bytes
+do not hash back to the manifest's digest (or a manifest that does not
+parse) must surface as a *typed refusal*, never as a half-built session
+or a generic pickle error.
+"""
+
+from __future__ import annotations
+
+
+class StoreError(Exception):
+    """Base class for all ``repro.store`` errors."""
+
+
+class StoreIntegrityError(StoreError):
+    """Stored bytes fail verification: hash mismatch or unreadable manifest.
+
+    Raised by every load path *before* any model bytes are deserialized,
+    so a corrupted (or tampered-with) store entry can never become a bad
+    session -- callers get this error or a bit-exact spec, nothing in
+    between.
+    """
+
+
+class ModelNotFoundError(StoreError, KeyError):
+    """No published versions exist under the requested model name."""
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message readable
+        return Exception.__str__(self)
+
+
+class VersionNotFoundError(StoreError, KeyError):
+    """The model exists but the requested version/hash does not."""
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)

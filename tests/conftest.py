@@ -60,3 +60,32 @@ def tiny_fashion():
 @pytest.fixture(scope="session")
 def tiny_segmentation():
     return load_segmentation_scenes(num_samples=12, size=32, seed=7)
+
+
+def pytest_collection_modifyitems(config, items):
+    """Optional CI sharding: TEST_SHARD_INDEX / TEST_SHARD_COUNT env vars.
+
+    Tests are assigned to shards by a stable hash of their *file*, never
+    per-test, so module-scoped fixtures (spawned replica fleets, cached
+    sessions) are paid once on exactly one shard.  Unset (the default,
+    and every local run) is a no-op.
+    """
+    count = int(os.environ.get("TEST_SHARD_COUNT", "0") or 0)
+    if count <= 1:
+        return
+    index = int(os.environ.get("TEST_SHARD_INDEX", "0") or 0)
+    if not 0 <= index < count:
+        raise pytest.UsageError(
+            f"TEST_SHARD_INDEX={index} out of range for TEST_SHARD_COUNT={count}"
+        )
+    import zlib
+
+    kept, shed = [], []
+    for item in items:
+        path = str(item.fspath)
+        if zlib.crc32(path.encode("utf-8")) % count == index:
+            kept.append(item)
+        else:
+            shed.append(item)
+    items[:] = kept
+    config.hook.pytest_deselected(items=shed)

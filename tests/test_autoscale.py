@@ -56,6 +56,25 @@ def _wait_until(predicate, timeout_s: float = 30.0, what: str = "condition"):
 # --------------------------------------------------------------------- #
 # Fakes for the control law (no processes)
 # --------------------------------------------------------------------- #
+class ManualClock:
+    """A hand-cranked ``time.monotonic`` stand-in for backoff/cooldown tests.
+
+    Injectable wherever the cluster takes ``clock=`` (``Autoscaler``,
+    ``ReplicaGroup``, ``Replica``), so tests walk production-scale
+    timelines -- 30 s backoffs, minute cooldowns -- without sleeping.
+    """
+
+    def __init__(self, start: float = 1000.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += float(seconds)
+        return self.now
+
+
 class FakeGroup:
     name = "fake"
 
@@ -161,6 +180,24 @@ class TestControlLaw:
         for tick in range(10):
             assert scaler.step(now=1.0 + tick).action == "hold"
         assert group.scale_calls == [2] and scaler.scale_downs == 0
+
+    def test_injected_clock_drives_cooldowns_without_wall_time(self):
+        """step() with no explicit now reads the injected clock, so a
+        60 s production cooldown is testable by advancing fake time."""
+        clock = ManualClock()
+        group, stats = FakeGroup(1), FakeStats()
+        config = AutoscaleConfig(
+            slo_p99_ms=100.0, min_replicas=1, max_replicas=4, min_samples=10, up_cooldown_s=60.0
+        )
+        scaler = Autoscaler(group, stats, config, clock=clock)
+        stats.completed, stats.p99_latency_ms = 100, 95.0
+        assert scaler.step().action == "up"
+        stats.completed += 20
+        clock.advance(30.0)  # half the cooldown: still held
+        assert scaler.step().reason == "up-cooldown"
+        clock.advance(31.0)  # past it: free to act again
+        assert scaler.step().action == "up"
+        assert group.scale_calls == [2, 3]
 
     def test_max_fleet_cap_respected(self):
         scaler, group, stats = _scaler(size=4, max_replicas=4)
@@ -397,12 +434,20 @@ class TestElasticGroup:
                 np.testing.assert_allclose(result, expected, atol=1e-10)
 
     def test_restart_backoff_grows_and_resets(self, tiny_spec):
+        """The backoff ladder at *production-scale* delays, on a fake clock.
+
+        The group's injected ``clock`` drives every backoff decision, so
+        the test walks a 5 s -> 8 s (capped) ladder by advancing fake
+        time -- no wall-clock sleeps beyond process lifecycle."""
+        clock = ManualClock()
+        wall_started = time.monotonic()
         with ReplicaGroup(
             tiny_spec,
             replicas=1,
-            restart_backoff_s=0.05,
-            restart_backoff_cap_s=0.1,
+            restart_backoff_s=5.0,
+            restart_backoff_cap_s=8.0,
             call_timeout_s=30.0,
+            clock=clock,
         ) as group:
             replica = group._by_index[0]
             real_restart = replica.restart
@@ -410,15 +455,20 @@ class TestElasticGroup:
             try:
                 group._schedule_restart(0)
                 _wait_until(lambda: replica.restart_attempts == 1, 10.0, "first failed attempt")
-                assert replica.restart_not_before > time.monotonic() - 0.01
+                # Exponential ladder on the fake timeline: 5 s out.
+                assert replica.restart_not_before == pytest.approx(clock.now + 5.0)
                 assert group.stats()[0]["restart_attempts"] == 1
+                clock.advance(5.0)  # the window expires instantly
                 group._schedule_restart(0)
                 _wait_until(lambda: replica.restart_attempts == 2, 10.0, "backed-off second attempt")
-                # Capped exponential: 0.05, then min(0.1, 0.1) -- the cap.
+                assert replica.restart_not_before == pytest.approx(clock.now + 8.0)  # capped: min(8, 10)
+                clock.advance(8.0)
                 group._schedule_restart(0)
                 _wait_until(lambda: replica.restart_attempts == 3, 10.0, "capped third attempt")
+                assert replica.restart_not_before == pytest.approx(clock.now + 8.0)
             finally:
                 replica.restart = real_restart
+            clock.advance(8.0)
             group._schedule_restart(0)
             # Success resets the ladder (restart() zeroes the counter).
             _wait_until(
@@ -427,6 +477,8 @@ class TestElasticGroup:
                 "successful restart resetting the backoff ladder",
             )
             assert group.stats()[0]["restart_attempts"] == 0
+        # 21 fake seconds of backoff must not cost 21 wall seconds.
+        assert time.monotonic() - wall_started < 15.0
 
     def test_close_logs_stuck_restart_at_configurable_deadline(self, tiny_spec, caplog):
         group = ReplicaGroup(tiny_spec, replicas=1, close_timeout_s=0.3, call_timeout_s=30.0)

@@ -219,6 +219,42 @@ class TestRouters:
 
 
 # --------------------------------------------------------------------- #
+# Restart-backoff bookkeeping (pure, fake clock -- no processes)
+# --------------------------------------------------------------------- #
+class TestRestartBackoffClock:
+    def _replica(self, tiny_session, clock):
+        from repro.cluster.replica import Replica
+
+        return Replica(
+            tiny_session.to_spec(),
+            index=0,
+            restart_backoff_s=0.5,
+            restart_backoff_cap_s=30.0,
+            clock=clock,
+        )
+
+    def test_backoff_ladder_walks_production_delays_without_sleeping(self, tiny_session):
+        """The default 0.5 s -> 30 s ladder, asserted on a fake timeline."""
+        now = {"t": 1000.0}
+        replica = self._replica(tiny_session, lambda: now["t"])
+        delays = [replica.note_restart_failure() for _ in range(8)]
+        assert delays == [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 30.0, 30.0]
+        assert replica.restart_not_before == pytest.approx(1000.0 + 30.0)
+        now["t"] += 12.0  # the window tracks the injected clock, not wall time
+        assert replica.note_restart_failure() == 30.0
+        assert replica.restart_not_before == pytest.approx(1012.0 + 30.0)
+
+    def test_clock_defaults_to_wall_monotonic(self, tiny_session):
+        from repro.cluster.replica import Replica
+
+        replica = Replica(tiny_session.to_spec(), index=0, restart_backoff_s=0.5)
+        assert replica.clock is time.monotonic
+        before = time.monotonic()
+        replica.note_restart_failure()
+        assert replica.restart_not_before >= before + 0.5
+
+
+# --------------------------------------------------------------------- #
 # Replica groups (real spawned workers)
 # --------------------------------------------------------------------- #
 class TestReplicaGroup:

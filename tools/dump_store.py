@@ -1,0 +1,68 @@
+"""Inspect a model store from the command line: models, versions, manifests.
+
+The operator's lens on ``repro.store`` (``docs/model_store.md``): point it
+at a store root and it prints the catalogue -- every model name, every
+version with its content hash, dtype, optimize level and publish
+timestamp -- or, with ``--verify``, re-hashes every blob against its
+manifest so silent on-disk corruption is caught before a replica
+cold-starts from it.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/dump_store.py /var/lib/repro-store
+    PYTHONPATH=src python tools/dump_store.py /var/lib/repro-store --model digits
+    PYTHONPATH=src python tools/dump_store.py /var/lib/repro-store --verify
+
+The formatting logic lives in :func:`dump_store`, so docs doctests and
+tests can call it without a subprocess.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.store import ModelStore, StoreIntegrityError
+
+
+def dump_store(store, model: str = None, verify: bool = False) -> str:
+    """The store catalogue (optionally one model, optionally verified) as one string."""
+    if not hasattr(store, "versions"):
+        store = ModelStore(store)
+    names = [model] if model is not None else store.models()
+    lines = [f"model store at {store.backend.describe()}: {len(names)} model(s)"]
+    for name in names:
+        manifests = store.versions(name)
+        latest = manifests[-1].version
+        lines.append(f"\n{name} ({len(manifests)} version(s), latest v{latest}):")
+        for manifest in manifests:
+            row = (
+                f"  v{manifest.version}  sha256-{manifest.content_hash[:12]}  "
+                f"{manifest.model_type}  optimize={manifest.optimize} dtype={manifest.dtype}  "
+                f"{manifest.blob_bytes}B  {manifest.created_at}"
+            )
+            if verify:
+                try:
+                    store.load_manifest(manifest)
+                    row += "  [ok]"
+                except StoreIntegrityError as exc:
+                    row += f"  [CORRUPT: {exc}]"
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", help="store root directory (LocalDirBackend)")
+    parser.add_argument("--model", default=None, help="limit the listing to one model name")
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-hash every listed blob against its manifest (slow but certain)",
+    )
+    args = parser.parse_args()
+    print(dump_store(args.root, model=args.model, verify=args.verify))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
