@@ -58,6 +58,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.log import get_logger as _obs_logger
+
 __all__ = ["AutoscaleConfig", "Autoscaler", "Decision"]
 
 logger = logging.getLogger(__name__)
@@ -358,6 +360,13 @@ class Autoscaler:
                 exc,
                 len(self.group),
             )
+            _obs_logger().warning(
+                "autoscale.resize_failed",
+                model=self.model,
+                target=verdict.target,
+                error=str(exc),
+                fleet=len(self.group),
+            )
         else:
             with self._lock:
                 if verdict.action == "up":
@@ -372,6 +381,15 @@ class Autoscaler:
                 verdict.reason,
                 verdict.p99_ms,
                 verdict.in_flight,
+            )
+            _obs_logger().info(
+                "autoscale.scaled",
+                model=self.model,
+                action=verdict.action,
+                target=verdict.target,
+                reason=verdict.reason,
+                p99_ms=verdict.p99_ms,
+                in_flight=verdict.in_flight,
             )
         # Cooldowns and the freshness gate restart even on failure: an
         # immediate retry of a failing spawn is exactly the crash-loop
@@ -394,6 +412,7 @@ class Autoscaler:
             registry.demote(self.model)
         except Exception as exc:  # noqa: BLE001 - demotion is advisory
             logger.warning("autoscaler %r: idle demotion failed (%s)", self.model, exc)
+            _obs_logger().warning("autoscale.demote_failed", model=self.model, error=str(exc))
         else:
             with self._lock:
                 self.idle_demotions += 1
@@ -401,6 +420,11 @@ class Autoscaler:
                 "autoscaler %r: idle for >= %.1fs; demoted to LRU eviction front",
                 self.model,
                 self.config.idle_timeout_s,
+            )
+            _obs_logger().info(
+                "autoscale.idle_demoted",
+                model=self.model,
+                idle_timeout_s=self.config.idle_timeout_s,
             )
 
     def _record(self, verdict: Decision, now: float) -> None:

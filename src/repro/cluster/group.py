@@ -38,6 +38,7 @@ many concurrent callers.
 from __future__ import annotations
 
 import asyncio
+import functools
 import logging
 import threading
 import time
@@ -54,6 +55,8 @@ from repro.cluster.replica import Replica
 from repro.cluster.router import ReplicaView, Router, make_router
 from repro.cluster.transport import LocalTransport, SocketTransport
 from repro.engine.spec import SessionSpec
+from repro.obs.log import get_logger as _obs_logger
+from repro.obs.trace import get_dispatch_context
 
 __all__ = ["ReplicaGroup"]
 
@@ -302,6 +305,12 @@ class ReplicaGroup:
                     stuck,
                     self.close_timeout_s,
                 )
+                _obs_logger().warning(
+                    "cluster.close_drain_timeout",
+                    group=self.name,
+                    replicas=stuck,
+                    timeout_s=self.close_timeout_s,
+                )
         # The membership lock serializes the terminate sweep with any
         # in-progress scale_to/add_replica (e.g. an autoscaler tick that
         # cannot be interrupted): either the resize finishes first and
@@ -398,6 +407,14 @@ class ReplicaGroup:
                         stuck_calls,
                         " (and a pending restart)" if restarting else "",
                         timeout,
+                    )
+                    _obs_logger().warning(
+                        "cluster.drain_timeout",
+                        group=self.name,
+                        replica=index,
+                        in_flight=stuck_calls,
+                        restarting=restarting,
+                        timeout_s=timeout,
                     )
             victim.close()
             with self._lock:
@@ -511,6 +528,12 @@ class ReplicaGroup:
                         replica.index,
                         timeout,
                     )
+                    _obs_logger().warning(
+                        "cluster.swap_drain_timeout",
+                        group=self.name,
+                        replica=replica.index,
+                        timeout_s=timeout,
+                    )
             replica.spec = spec
             replica.transport.spec = spec
             if not self._closed:
@@ -596,6 +619,7 @@ class ReplicaGroup:
             self._restarting.add(index)
 
         def revive() -> None:
+            outcome: Optional[str] = None
             try:
                 delay = replica.restart_not_before - self._clock()
                 if delay > 0:
@@ -604,16 +628,33 @@ class ReplicaGroup:
                     return
                 try:
                     replica.restart()
+                    outcome = "restarted"
                 except BaseException as exc:  # noqa: BLE001 - recorded, retried with backoff
                     replica.last_error = f"restart failed: {exc}"
                     replica.note_restart_failure()
+                    outcome = "failed"
             finally:
                 with self._lock:
                     self._restarting.discard(index)
+                # Structured log *after* the slot release: callers polling
+                # the counters must be able to schedule the next attempt
+                # the instant the bookkeeping says they can.
+                if outcome == "restarted":
+                    _obs_logger().info(
+                        "cluster.replica_restarted", group=self.name, replica=index
+                    )
+                elif outcome == "failed":
+                    _obs_logger().warning(
+                        "cluster.replica_restart_failed",
+                        group=self.name,
+                        replica=index,
+                        error=replica.last_error,
+                        attempts=replica.restart_attempts,
+                    )
 
         threading.Thread(target=revive, name=f"repro-replica-restart-{index}", daemon=True).start()
 
-    def infer_sync(self, batch) -> np.ndarray:
+    def infer_sync(self, batch, obs: Optional[dict] = None) -> np.ndarray:
         """Route one fused batch to a replica; blocking.
 
         Crash/timeout failures restart the replica in the background and
@@ -621,10 +662,17 @@ class ReplicaGroup:
         last error propagates after that.  Worker-side *request* errors
         (e.g. a malformed batch) are deterministic and propagate
         immediately without retry.
+
+        ``obs`` is the dispatch trace context for a traced batch (see
+        :mod:`repro.obs`): the trace-id list rides the wire to the
+        worker, and on success the dict is filled in place with where the
+        batch actually ran (``replica``, ``transport``, ``retries``,
+        ``compute_s``, ``worker``) for span stitching.
         """
         if self._closed:
             raise ReplicaCrashError(f"replica group {self.name!r} is closed")
         batch = np.ascontiguousarray(np.asarray(batch, dtype=float))
+        wire_ctx = {"trace_ids": obs.get("trace_ids", [])} if obs is not None else None
         tried: set = set()
         last: Optional[Exception] = None
         for _ in range(self.max_retries + 1):
@@ -644,7 +692,13 @@ class ReplicaGroup:
                 if not view.alive and view.index not in tried:
                     self._schedule_restart(view.index)
             try:
-                result, _ = replica.call(batch)
+                detail: Optional[dict] = {} if obs is not None else None
+                result, _ = replica.call(batch, ctx=wire_ctx, detail=detail)
+                if obs is not None:
+                    obs["replica"] = index
+                    obs["transport"] = replica.transport.describe()
+                    obs["retries"] = len(tried)
+                    obs.update(detail or {})
                 return result
             except (ReplicaCrashError, ReplicaTimeoutError) as exc:
                 last = exc
@@ -656,9 +710,15 @@ class ReplicaGroup:
         raise last  # type: ignore[misc]  # loop ran >= 1 time
 
     async def infer(self, batch) -> np.ndarray:
-        """Awaitable :meth:`infer_sync`: pipe work runs in the executor."""
+        """Awaitable :meth:`infer_sync`: pipe work runs in the executor.
+
+        Reads the batcher's dispatch trace context *here*, on the event
+        loop (contextvars do not propagate into executor threads), and
+        hands it to :meth:`infer_sync` explicitly.
+        """
+        ctx = get_dispatch_context()
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, self.infer_sync, batch)
+        return await loop.run_in_executor(None, functools.partial(self.infer_sync, batch, obs=ctx))
 
     def rescue_sync(self, payload) -> np.ndarray:
         """One-shot single-request dispatch to an *idle* replica.

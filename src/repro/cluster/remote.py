@@ -37,7 +37,7 @@ import traceback
 from typing import Optional
 
 from repro.cluster.transport import FrameBuffer, recv_message, send_message
-from repro.cluster.worker import probe_session, run_batch
+from repro.cluster.worker import probe_session, run_batch, worker_obs
 
 __all__ = ["WorkerServer", "serve", "main"]
 
@@ -90,13 +90,20 @@ def _serve_connection(conn: socket.socket, store_root: Optional[str] = None) -> 
                     conn, ("err", message[1] if len(message) > 1 else -1, f"unknown message {kind!r}")
                 )
                 continue
-            _, batch, seq = message
+            batch, seq = message[1], message[2]
+            ctx = message[3] if len(message) > 3 else None
             try:
                 result, compute_s = run_batch(session, batch, handicap_s)
             except Exception:
                 send_message(conn, ("err", seq, traceback.format_exc(limit=8)))
                 continue
-            send_message(conn, ("ok", seq, result, compute_s))
+            if ctx is not None:
+                # Traced request: the reply carries this worker's timing
+                # payload for the parent's trace stitching (same contract
+                # as the pipe+shm worker).
+                send_message(conn, ("ok", seq, result, compute_s, worker_obs(compute_s, handicap_s)))
+            else:
+                send_message(conn, ("ok", seq, result, compute_s))
     except OSError:
         return  # send-side breakage: the parent will reconnect if it cares
 

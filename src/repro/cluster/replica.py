@@ -184,10 +184,24 @@ class Replica:
                 return False
             return answer[0] == "pong" and answer[1] == seq
 
-    def call(self, batch: np.ndarray, timeout_s: Optional[float] = None) -> "tuple[np.ndarray, float]":
+    def call(
+        self,
+        batch: np.ndarray,
+        timeout_s: Optional[float] = None,
+        *,
+        ctx: Optional[dict] = None,
+        detail: Optional[dict] = None,
+    ) -> "tuple[np.ndarray, float]":
         """Run one fused batch on the worker; returns ``(result, compute_s)``.
 
         Blocking; safe to invoke from any thread (internally serialized).
+
+        ``ctx`` is an optional trace context rider on the ``run`` frame
+        (``{"trace_ids": [...]}`` -- see :mod:`repro.obs`); a worker that
+        receives one answers with its observability payload, which lands
+        in ``detail`` (an out-parameter dict, filled with ``worker`` and
+        ``compute_s``) so the return shape stays ``(result, compute_s)``
+        for every existing caller.
 
         Raises :class:`ReplicaCrashError` when the worker dies or the
         transport breaks mid-call, :class:`ReplicaTimeoutError` when no
@@ -203,7 +217,8 @@ class Replica:
             self._seq += 1
             seq = self._seq
             try:
-                self.transport.send(("run", batch, seq))
+                message = ("run", batch, seq) if ctx is None else ("run", batch, seq, ctx)
+                self.transport.send(message)
                 answer = self._recv_locked(deadline)
             except (BrokenPipeError, EOFError, OSError) as exc:
                 self._mark_failed_locked(f"transport broke mid-call: {exc}")
@@ -216,7 +231,11 @@ class Replica:
             if kind != "ok" or answer[1] != seq:  # pragma: no cover - protocol guard
                 self._mark_failed_locked(f"protocol desync (got {kind!r})")
                 raise ReplicaCrashError(f"replica {self.index} answered out of order")
-            _, _, result, compute_s = answer
+            result, compute_s = answer[2], answer[3]
+            if detail is not None:
+                detail["compute_s"] = compute_s
+                if len(answer) > 4:
+                    detail["worker"] = answer[4]
             wall_s = time.perf_counter() - started
             self.dispatched += 1
             alpha = self._ewma_alpha

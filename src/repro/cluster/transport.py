@@ -9,14 +9,20 @@ another host (or just another container).
 
 Message schema (transport-independent; array payloads appear in-band):
 
-========================  =============================================
-parent -> worker          worker -> parent
-========================  =============================================
-``("run", batch, seq)``   ``("ok", seq, result, compute_s)`` or
-                          ``("err", seq, message)``
-``("ping", seq)``         ``("pong", seq)``
-``("stop",)``             (conversation over)
-========================  =============================================
+==============================  =========================================
+parent -> worker                worker -> parent
+==============================  =========================================
+``("run", batch, seq[, ctx])``  ``("ok", seq, result, compute_s[, obs])``
+                                or ``("err", seq, message)``
+``("ping", seq)``               ``("pong", seq)``
+``("stop",)``                   (conversation over)
+==============================  =========================================
+
+The optional trailing elements carry observability: ``ctx`` is the
+parent's trace context (``{"trace_ids": [...]}``) and ``obs`` the
+worker's reply timing (pid, compute duration) that the serving layer
+stitches into the request traces.  Both sides tolerate the short forms,
+so mixed-version parents and workers interoperate.
 
 plus a one-shot startup handshake -- ``("ready", meta)`` on success,
 ``("fatal", message)`` on a worker that could not build its session --
@@ -291,9 +297,12 @@ class LocalTransport(Transport):
         if self._conn is None:
             raise BrokenPipeError(f"replica {self.index} transport is not connected")
         if message[0] == "run":
-            _, batch, seq = message
+            # ("run", batch, seq[, ctx]): the batch array moves through
+            # shared memory; the optional trailing trace-context dict --
+            # and any future protocol extension -- rides the pipe as-is.
+            batch, seq = message[1], message[2]
             ref = self._requests.write(batch)
-            self._conn.send(("run", ref, seq))
+            self._conn.send(("run", ref, seq) + tuple(message[3:]))
         else:
             self._conn.send(message)
 
@@ -303,8 +312,10 @@ class LocalTransport(Transport):
     def recv(self) -> tuple:
         message = self._conn.recv()
         if message[0] == "ok":
-            _, seq, out_ref, compute_s = message
-            return ("ok", seq, self._responses.take(out_ref), compute_s)
+            # ("ok", seq, ref, compute_s[, obs]): materialize the result
+            # array, pass any trailing worker-observability dict through.
+            seq, out_ref, compute_s = message[1], message[2], message[3]
+            return ("ok", seq, self._responses.take(out_ref), compute_s) + tuple(message[4:])
         return message
 
     def close(self, graceful: bool = True) -> None:

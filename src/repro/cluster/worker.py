@@ -6,14 +6,19 @@ kernel caches and FFT plans, in its own address space -- this is what
 frees a replica group from the parent's GIL), then answers a tiny
 request/response protocol over a pipe:
 
-========================  =============================================
-parent -> worker          worker -> parent
-========================  =============================================
-``("run", ref, seq)``     ``("ok", seq, ref, compute_s)`` or
-                          ``("err", seq, message)``
-``("ping", seq)``         ``("pong", seq)``
-``("stop",)``             (exits after cleanup)
-========================  =============================================
+============================  ===========================================
+parent -> worker              worker -> parent
+============================  ===========================================
+``("run", ref, seq[, ctx])``  ``("ok", seq, ref, compute_s[, obs])`` or
+                              ``("err", seq, message)``
+``("ping", seq)``             ``("pong", seq)``
+``("stop",)``                 (exits after cleanup)
+============================  ===========================================
+
+A ``run`` carrying a trace context ``ctx`` (the request is traced --
+see :mod:`repro.obs`) gets an ``ok`` carrying :func:`worker_obs`: the
+worker's pid and compute duration, which the parent stitches into the
+request's trace as a ``worker.compute`` span.
 
 plus a one-shot ``("ready", meta)`` / ``("fatal", message)`` handshake
 after the session is built.  ``ref`` descriptors are
@@ -30,6 +35,7 @@ slowed replica for asymmetric-capacity tests and benchmarks (see
 
 from __future__ import annotations
 
+import os
 import signal
 import time
 import traceback
@@ -40,7 +46,21 @@ import numpy as np
 from repro.cluster.shm import ShmArena, ShmReader
 from repro.engine.spec import SessionSpec
 
-__all__ = ["worker_main", "probe_session", "run_batch"]
+__all__ = ["worker_main", "probe_session", "run_batch", "worker_obs"]
+
+
+def worker_obs(compute_s: float, handicap_s: float = 0.0) -> dict:
+    """The observability payload a traced ``ok`` reply carries.
+
+    Durations only -- ``time.monotonic``/``perf_counter`` instants are
+    process-local and meaningless to the parent, which anchors the
+    stitched ``worker.compute`` span inside its own dispatch window.
+    Shared by both worker flavors (pipe+shm child and socket server).
+    """
+    obs = {"pid": os.getpid(), "compute_ms": compute_s * 1000.0}
+    if handicap_s > 0.0:
+        obs["handicap_ms"] = handicap_s * 1000.0
+    return obs
 
 
 def probe_session(session) -> dict:
@@ -123,7 +143,8 @@ def worker_main(conn, spec: SessionSpec, options: Optional[dict] = None) -> None
             if kind != "run":  # pragma: no cover - protocol guard
                 conn.send(("err", message[1] if len(message) > 1 else -1, f"unknown message {kind!r}"))
                 continue
-            _, ref, seq = message
+            ref, seq = message[1], message[2]
+            ctx = message[3] if len(message) > 3 else None
             try:
                 # The view aliases the parent's arena; the session copies
                 # during encoding, and the parent will not overwrite the
@@ -134,7 +155,14 @@ def worker_main(conn, spec: SessionSpec, options: Optional[dict] = None) -> None
             except Exception:
                 conn.send(("err", seq, traceback.format_exc(limit=8)))
                 continue
-            conn.send(("ok", seq, out_ref, compute_s))
+            if ctx is not None:
+                # Traced request: ship the compute timing back so the
+                # parent can stitch a worker.compute span into the trace
+                # (clocks do not align across processes, so durations
+                # travel, not instants).
+                conn.send(("ok", seq, out_ref, compute_s, worker_obs(compute_s, handicap_s)))
+            else:
+                conn.send(("ok", seq, out_ref, compute_s))
             # The view from this iteration must not outlive the message:
             # a lingering reference pins the parent's arena mmap and
             # turns the shutdown close into a BufferError.

@@ -11,10 +11,19 @@ inside one Python process.  This package puts an HTTP/1.1 server
 ``POST``     ``/v1/models/{name}/infer``      single (``input``) or batch
                                               (``inputs``) inference, with
                                               optional per-request ``slo_ms``
+``POST``     ``/v1/models/{name}/swap``       zero-downtime version swap
 ``GET``      ``/v1/models``                   per-model static metadata
 ``GET``      ``/v1/stats``                    batcher/replica/gateway counters
+``GET``      ``/v1/traces``                   recent request traces
+                                              (``?slow=N`` for the worst)
+``GET``      ``/v1/traces/{id}``              one trace by ``X-Request-Id``
+``GET``      ``/metrics``                     Prometheus text exposition
 ``GET``      ``/healthz``                     liveness probe
 ===========  ===============================  ==============================
+
+Every response carries ``X-Request-Id`` (client-sent or gateway-minted);
+the same id keys the request's trace in ``GET /v1/traces/{id}`` (see
+:mod:`repro.obs`).
 
 Overload becomes HTTP the obvious way -- a full batcher queue is ``429``
 with ``Retry-After``, an expired SLO is ``504``, a closed or crashed

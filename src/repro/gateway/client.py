@@ -46,13 +46,20 @@ __all__ = ["GatewayClient", "GatewayError"]
 
 
 class GatewayError(Exception):
-    """An HTTP failure with no serving-layer equivalent to re-raise."""
+    """An HTTP failure with no serving-layer equivalent to re-raise.
 
-    def __init__(self, status: int, error_type: str, message: str):
+    ``request_id`` is the gateway's ``X-Request-Id`` echo when the
+    response carried one -- the key into ``GET /v1/traces/{id}``.
+    """
+
+    def __init__(
+        self, status: int, error_type: str, message: str, *, request_id: Optional[str] = None
+    ):
         super().__init__(f"[{status} {error_type}] {message}")
         self.status = int(status)
         self.error_type = str(error_type)
         self.message = str(message)
+        self.request_id = request_id
 
 
 #: ``error.type`` -> the serving-layer exception the gateway mapped from.
@@ -96,16 +103,20 @@ class GatewayClient:
     # ------------------------------------------------------------------ #
     # Plumbing
     # ------------------------------------------------------------------ #
-    async def _request(self, method: str, path: str, payload=None) -> Tuple[int, Dict[str, str], dict]:
+    async def _request(
+        self, method: str, path: str, payload=None, *, request_id: Optional[str] = None
+    ) -> Tuple[int, Dict[str, str], dict]:
         """One exchange on a pooled connection; returns ``(status, headers, body)``."""
         if self._closed:
             raise GatewayError(0, "client_closed", "client is closed")
         body = json_bytes(payload) if payload is not None else b""
+        extra = f"X-Request-Id: {request_id}\r\n" if request_id else ""
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: keep-alive\r\n\r\n"
         ).encode("latin-1")
         async with self._slots:
@@ -147,37 +158,65 @@ class GatewayClient:
         await self.close()
 
     @staticmethod
-    def _raise_for_error(status: int, body: dict) -> None:
+    def _raise_for_error(status: int, body: dict, headers: Optional[Dict[str, str]] = None) -> None:
         error = body.get("error") if isinstance(body, dict) else None
         if status < 400 and error is None:
             return
         error = error or {}
         error_type = str(error.get("type", "unknown"))
         message = str(error.get("message", f"HTTP {status}"))
+        request_id = (headers or {}).get("x-request-id")
         mapped = _ERROR_TYPES.get(error_type)
         if mapped is not None:
-            raise mapped(message)
-        raise GatewayError(status, error_type, message)
+            exc = mapped(message)
+            # The serving-layer types take no extra args; ride the id on
+            # the instance so callers can fetch the trace of a failure.
+            exc.request_id = request_id
+            raise exc
+        raise GatewayError(status, error_type, message, request_id=request_id)
 
     # ------------------------------------------------------------------ #
     # API surface
     # ------------------------------------------------------------------ #
-    async def infer(self, model: str, payload, slo_ms: Optional[float] = None) -> np.ndarray:
-        """``POST /v1/models/{model}/infer`` with one payload; one result row."""
+    async def infer(
+        self,
+        model: str,
+        payload,
+        slo_ms: Optional[float] = None,
+        *,
+        request_id: Optional[str] = None,
+    ) -> np.ndarray:
+        """``POST /v1/models/{model}/infer`` with one payload; one result row.
+
+        ``request_id`` rides as ``X-Request-Id`` and becomes the trace id
+        (the gateway mints one otherwise); on failure the raised
+        exception carries it back as ``.request_id``.
+        """
         request: dict = {"input": np.asarray(payload)}
         if slo_ms is not None:
             request["slo_ms"] = float(slo_ms)
-        status, _, body = await self._request("POST", f"/v1/models/{model}/infer", request)
-        self._raise_for_error(status, body)
+        status, headers, body = await self._request(
+            "POST", f"/v1/models/{model}/infer", request, request_id=request_id
+        )
+        self._raise_for_error(status, body, headers)
         return np.asarray(body["output"], dtype=float)
 
-    async def infer_many(self, model: str, payloads, slo_ms: Optional[float] = None) -> np.ndarray:
+    async def infer_many(
+        self,
+        model: str,
+        payloads,
+        slo_ms: Optional[float] = None,
+        *,
+        request_id: Optional[str] = None,
+    ) -> np.ndarray:
         """Batch variant: ``{"inputs": [...]}``; stacked results."""
         request: dict = {"inputs": [np.asarray(payload) for payload in payloads]}
         if slo_ms is not None:
             request["slo_ms"] = float(slo_ms)
-        status, _, body = await self._request("POST", f"/v1/models/{model}/infer", request)
-        self._raise_for_error(status, body)
+        status, headers, body = await self._request(
+            "POST", f"/v1/models/{model}/infer", request, request_id=request_id
+        )
+        self._raise_for_error(status, body, headers)
         return np.asarray(body["outputs"], dtype=float)
 
     async def swap_model(self, model: str, version=None) -> dict:
@@ -207,6 +246,19 @@ class GatewayClient:
         """``GET /healthz`` -- returns the body even when the answer is 503."""
         _, _, body = await self._request("GET", "/healthz")
         return body
+
+    async def trace(self, trace_id: str) -> dict:
+        """``GET /v1/traces/{id}`` -- one retained trace by request id."""
+        status, headers, body = await self._request("GET", f"/v1/traces/{trace_id}")
+        self._raise_for_error(status, body, headers)
+        return body
+
+    async def traces(self, *, slow: Optional[int] = None) -> List[dict]:
+        """``GET /v1/traces`` -- recent traces, or the ``slow`` worst."""
+        path = "/v1/traces" if slow is None else f"/v1/traces?slow={int(slow)}"
+        status, headers, body = await self._request("GET", path)
+        self._raise_for_error(status, body, headers)
+        return body["traces"]
 
 
 async def _discard(writer: asyncio.StreamWriter) -> None:

@@ -38,6 +38,7 @@ __all__ = [
     "read_response",
     "render_response",
     "json_response",
+    "text_response",
     "error_response",
     "json_bytes",
     "decode_json_body",
@@ -255,17 +256,39 @@ def json_response(
     return render_response(status, json_bytes(obj), headers, keep_alive=keep_alive)
 
 
-def error_response(error: ApiError, *, keep_alive: bool = True) -> bytes:
-    """The shared error envelope: ``{"error": {"type", "message", "status"}}``."""
-    headers = {}
+def text_response(
+    text: str,
+    status: int = 200,
+    headers: Optional[Dict[str, str]] = None,
+    *,
+    keep_alive: bool = True,
+) -> bytes:
+    """A plain-text response (the ``/metrics`` Prometheus exposition)."""
+    merged = {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
+    merged.update(headers or {})
+    return render_response(status, text.encode("utf-8"), merged, keep_alive=keep_alive)
+
+
+def error_response(
+    error: ApiError,
+    *,
+    keep_alive: bool = True,
+    headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """The shared error envelope: ``{"error": {"type", "message", "status"}}``.
+
+    ``headers`` carries per-request extras (the ``X-Request-Id`` echo);
+    a ``Retry-After`` derived from the error is merged in on top.
+    """
+    merged = dict(headers or {})
     if error.retry_after_s is not None:
         # Retry-After is integer seconds; round up so "0.05s" does not
         # read as "retry immediately".
-        headers["Retry-After"] = str(max(1, math.ceil(error.retry_after_s)))
+        merged["Retry-After"] = str(max(1, math.ceil(error.retry_after_s)))
     body = {
         "error": {"type": error.error_type, "message": error.message, "status": error.status}
     }
-    return json_response(body, status=error.status, headers=headers, keep_alive=keep_alive)
+    return json_response(body, status=error.status, headers=merged, keep_alive=keep_alive)
 
 
 # ---------------------------------------------------------------------- #

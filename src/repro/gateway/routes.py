@@ -6,11 +6,19 @@ The gateway's entire API surface lives in :func:`dispatch`:
 method     path                            answers
 =========  ==============================  =================================
 ``GET``    ``/healthz``                    liveness + model roster
+``GET``    ``/metrics``                    Prometheus text exposition
 ``GET``    ``/v1/models``                  static per-model metadata
 ``GET``    ``/v1/stats``                   batcher/replica/gateway counters
+``GET``    ``/v1/traces``                  recent traces (``?slow=N`` for worst)
+``GET``    ``/v1/traces/{id}``             one retained trace by id
 ``POST``   ``/v1/models/{name}/infer``     run inference (single or batch)
 ``POST``   ``/v1/models/{name}/swap``      zero-downtime version swap
 =========  ==============================  =================================
+
+Every response -- including every error -- carries ``X-Request-Id``: the
+client-sent header when present, a freshly minted id otherwise.  The
+same id doubles as the trace id (:mod:`repro.obs`), so a slow request's
+HTTP response header is directly the key into ``GET /v1/traces/{id}``.
 
 Handlers speak :class:`~repro.gateway.codec.ApiError` for refusals; the
 serving layer's exception taxonomy is mapped onto HTTP statuses in
@@ -26,8 +34,8 @@ load generator bucket HTTP outcomes exactly like in-process ones.
 from __future__ import annotations
 
 import asyncio
-from typing import Optional
-from urllib.parse import unquote
+from typing import Dict, Optional
+from urllib.parse import parse_qs, unquote
 
 import numpy as np
 
@@ -38,7 +46,11 @@ from repro.gateway.codec import (
     decode_json_body,
     error_response,
     json_response,
+    text_response,
 )
+from repro.obs.prom import render_server_metrics
+from repro.obs.trace import new_trace_id, use_trace
+from repro.obs.tracer import get_tracer
 from repro.serve import (
     DeadlineExceededError,
     ServerClosedError,
@@ -88,31 +100,51 @@ def map_exception(exc: BaseException, retry_after_s: float = 1.0) -> ApiError:
 
 
 async def dispatch(gateway, request: HttpRequest) -> bytes:
-    """Answer one parsed request; never raises (errors become responses)."""
+    """Answer one parsed request; never raises (errors become responses).
+
+    The request id (``X-Request-Id``: client-sent or minted here) is the
+    trace id, and every response path -- success or error -- echoes it.
+    """
     keep_alive = request.keep_alive
+    rid = request.headers.get("x-request-id") or new_trace_id()
+    headers = {"X-Request-Id": rid}
     try:
         if request.path == "/healthz":
             _require_method(request, "GET")
-            return _health(gateway, keep_alive)
+            return _health(gateway, keep_alive, headers)
+        if request.path == "/metrics":
+            _require_method(request, "GET")
+            return _metrics(gateway, keep_alive, headers)
         if request.path == "/v1/models":
             _require_method(request, "GET")
-            return json_response({"models": list(gateway.server.describe().values())}, keep_alive=keep_alive)
+            return json_response(
+                {"models": list(gateway.server.describe().values())},
+                headers=headers,
+                keep_alive=keep_alive,
+            )
         if request.path == "/v1/stats":
             _require_method(request, "GET")
-            return _stats(gateway, keep_alive)
+            return _stats(gateway, keep_alive, headers)
+        if request.path == "/v1/traces":
+            _require_method(request, "GET")
+            return _traces_index(request, keep_alive, headers)
+        trace_id = _trace_path_id(request.path)
+        if trace_id is not None:
+            _require_method(request, "GET")
+            return _trace_detail(trace_id, keep_alive, headers)
         name = _infer_model_name(request.path)
         if name is not None:
             _require_method(request, "POST")
-            return await _infer(gateway, name, request, keep_alive)
+            return await _infer(gateway, name, request, keep_alive, headers, rid)
         name = _model_action_name(request.path, "/swap")
         if name is not None:
             _require_method(request, "POST")
-            return await _swap(gateway, name, request, keep_alive)
+            return await _swap(gateway, name, request, keep_alive, headers)
         raise ApiError(404, "not_found", f"no route for {request.path}")
     except ApiError as error:
-        return error_response(error, keep_alive=keep_alive)
+        return error_response(error, keep_alive=keep_alive, headers=headers)
     except Exception as exc:  # noqa: BLE001 - the wire gets a 500, not a traceback
-        return error_response(map_exception(exc), keep_alive=keep_alive)
+        return error_response(map_exception(exc), keep_alive=keep_alive, headers=headers)
 
 
 def _require_method(request: HttpRequest, method: str) -> None:
@@ -136,7 +168,18 @@ def _model_action_name(path: str, suffix: str) -> Optional[str]:
     return unquote(name)
 
 
-def _health(gateway, keep_alive: bool) -> bytes:
+def _trace_path_id(path: str) -> Optional[str]:
+    """``/v1/traces/{id}`` -> ``id`` (URL-decoded), else ``None``."""
+    prefix = "/v1/traces/"
+    if not path.startswith(prefix):
+        return None
+    trace_id = path[len(prefix) :]
+    if not trace_id or "/" in trace_id:
+        return None
+    return unquote(trace_id)
+
+
+def _health(gateway, keep_alive: bool, headers: Dict[str, str]) -> bytes:
     up = gateway.server.started
     body = {
         "status": "ok" if up else "unavailable",
@@ -144,47 +187,141 @@ def _health(gateway, keep_alive: bool) -> bytes:
         "models": sorted(gateway.server.describe()),
         "uptime_s": gateway.uptime_s,
     }
-    return json_response(body, status=200 if up else 503, keep_alive=keep_alive)
+    return json_response(body, status=200 if up else 503, headers=headers, keep_alive=keep_alive)
 
 
-def _stats(gateway, keep_alive: bool) -> bytes:
+def _stats(gateway, keep_alive: bool, headers: Dict[str, str]) -> bytes:
     models = {}
     for name, stats in gateway.server.stats().items():
         # as_dict() already carries the per-replica breakdown and the
         # autoscaler snapshot when the model has them.
         models[name] = stats.as_dict()
-    return json_response({"models": models, "gateway": gateway.limits.snapshot()}, keep_alive=keep_alive)
+    return json_response(
+        {"models": models, "gateway": gateway.limits.snapshot()},
+        headers=headers,
+        keep_alive=keep_alive,
+    )
 
 
-async def _infer(gateway, name: str, request: HttpRequest, keep_alive: bool) -> bytes:
-    batch, single, slo_ms = decode_infer_payload(request.body)
-    if not gateway.limits.try_begin_request():
-        raise ApiError(
-            429,
-            "overloaded",
-            f"gateway is at its in-flight limit ({gateway.limits.max_inflight})",
-            retry_after_s=gateway.limits.retry_after_s,
-        )
-    loop = asyncio.get_running_loop()
-    started = loop.time()
+def _metrics(gateway, keep_alive: bool, headers: Dict[str, str]) -> bytes:
+    """Prometheus text exposition over everything this process serves."""
+    text = render_server_metrics(
+        gateway.server.stats(),
+        gateway=gateway.limits.snapshot(),
+        tracer=get_tracer(),
+    )
+    return text_response(text, headers=headers, keep_alive=keep_alive)
+
+
+def _int_query(params: Dict[str, list], key: str, default: int, *, cap: int = 256) -> int:
+    values = params.get(key)
+    if not values:
+        return default
     try:
-        results = await asyncio.gather(
-            *(gateway.server.submit(name, payload, slo_ms=slo_ms) for payload in batch)
-        )
-    except Exception as exc:  # noqa: BLE001 - mapped onto the HTTP taxonomy
-        raise map_exception(exc, gateway.limits.retry_after_s) from exc
-    finally:
-        gateway.limits.end_request()
-    latency_ms = (loop.time() - started) * 1000.0
-    if single:
-        body = {"model": name, "output": results[0], "latency_ms": latency_ms}
+        value = int(values[-1])
+    except ValueError:
+        raise ApiError(400, "invalid_request", f"query parameter {key!r} must be an integer") from None
+    if value < 1:
+        raise ApiError(400, "invalid_request", f"query parameter {key!r} must be >= 1")
+    return min(value, cap)
+
+
+def _traces_index(request: HttpRequest, keep_alive: bool, headers: Dict[str, str]) -> bytes:
+    """``GET /v1/traces``: most recent traces, or ``?slow=N`` for the worst."""
+    params = parse_qs(request.query)
+    unknown = sorted(set(params) - {"slow", "recent"})
+    if unknown:
+        raise ApiError(400, "invalid_request", f"unknown query parameter(s) {unknown}")
+    tracer = get_tracer()
+    if "slow" in params:
+        traces = tracer.slowest(_int_query(params, "slow", 16))
+        order = "slowest"
     else:
-        stacked = np.stack(results, axis=0) if results else np.empty((0,))
-        body = {"model": name, "outputs": stacked, "count": len(results), "latency_ms": latency_ms}
-    return json_response(body, keep_alive=keep_alive)
+        traces = tracer.recent(_int_query(params, "recent", 16))
+        order = "recent"
+    return json_response(
+        {"traces": traces, "order": order, "count": len(traces)},
+        headers=headers,
+        keep_alive=keep_alive,
+    )
 
 
-async def _swap(gateway, name: str, request: HttpRequest, keep_alive: bool) -> bytes:
+def _trace_detail(trace_id: str, keep_alive: bool, headers: Dict[str, str]) -> bytes:
+    found = get_tracer().get(trace_id)
+    if found is None:
+        raise ApiError(
+            404,
+            "trace_not_found",
+            f"no retained trace with id {trace_id!r} (evicted, sampled out, or never seen)",
+        )
+    return json_response(found, headers=headers, keep_alive=keep_alive)
+
+
+async def _infer(
+    gateway,
+    name: str,
+    request: HttpRequest,
+    keep_alive: bool,
+    headers: Dict[str, str],
+    rid: str,
+) -> bytes:
+    tracer = get_tracer()
+    trace = tracer.trace(trace_id=rid)
+    error_label: Optional[str] = None
+    try:
+        decode_span = trace.span("gateway.decode") if trace is not None else None
+        batch, single, slo_ms = decode_infer_payload(request.body)
+        if decode_span is not None:
+            decode_span.end().set(model=name, items=len(batch))
+        if not gateway.limits.try_begin_request():
+            raise ApiError(
+                429,
+                "overloaded",
+                f"gateway is at its in-flight limit ({gateway.limits.max_inflight})",
+                retry_after_s=gateway.limits.retry_after_s,
+            )
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            # gather() wraps each submit into a task *inside* this block,
+            # so every task's copied context carries the trace and the
+            # batcher's submit() can pick it up with current_trace().
+            with use_trace(trace):
+                results = await asyncio.gather(
+                    *(gateway.server.submit(name, payload, slo_ms=slo_ms) for payload in batch)
+                )
+        except Exception as exc:  # noqa: BLE001 - mapped onto the HTTP taxonomy
+            raise map_exception(exc, gateway.limits.retry_after_s) from exc
+        finally:
+            gateway.limits.end_request()
+        latency_ms = (loop.time() - started) * 1000.0
+        encode_span = trace.span("gateway.encode") if trace is not None else None
+        if single:
+            body = {"model": name, "output": results[0], "latency_ms": latency_ms}
+        else:
+            stacked = np.stack(results, axis=0) if results else np.empty((0,))
+            body = {"model": name, "outputs": stacked, "count": len(results), "latency_ms": latency_ms}
+        response = json_response(body, headers=headers, keep_alive=keep_alive)
+        if encode_span is not None:
+            encode_span.end()
+        if trace is not None:
+            trace.root.set(model=name, status=200)
+        return response
+    except ApiError as error:
+        error_label = error.error_type
+        if trace is not None:
+            trace.root.set(model=name, status=error.status)
+        raise
+    except Exception as exc:
+        error_label = type(exc).__name__
+        raise
+    finally:
+        tracer.finish(trace, error=error_label)
+
+
+async def _swap(
+    gateway, name: str, request: HttpRequest, keep_alive: bool, headers: Dict[str, str]
+) -> bytes:
     """Roll ``name`` onto another stored version; in-flight traffic keeps flowing."""
     payload = decode_json_body(request.body) if request.body else {}
     unknown = sorted(set(payload) - {"version"})
@@ -199,4 +336,4 @@ async def _swap(gateway, name: str, request: HttpRequest, keep_alive: bool) -> b
         summary = await gateway.server.swap_model(name, version)
     except Exception as exc:  # noqa: BLE001 - mapped onto the HTTP taxonomy
         raise map_exception(exc, gateway.limits.retry_after_s) from exc
-    return json_response(summary, keep_alive=keep_alive)
+    return json_response(summary, headers=headers, keep_alive=keep_alive)

@@ -43,6 +43,7 @@ from repro.gateway.codec import (
 )
 from repro.gateway.limits import GatewayLimits
 from repro.gateway.routes import dispatch
+from repro.obs.trace import new_trace_id
 from repro.serve.server import InferenceServer
 
 __all__ = ["Gateway"]
@@ -152,7 +153,14 @@ class Gateway:
                 f"gateway is at its connection limit ({self.limits.max_connections})",
                 retry_after_s=self.limits.retry_after_s,
             )
-            await self._write(writer, error_response(refusal, keep_alive=False))
+            # Refused before any request was parsed: mint a fresh id so
+            # even this response is correlatable in client logs.
+            await self._write(
+                writer,
+                error_response(
+                    refusal, keep_alive=False, headers={"X-Request-Id": new_trace_id()}
+                ),
+            )
             await self._close(writer)
             return
         try:
@@ -161,8 +169,14 @@ class Gateway:
                     request = await read_request(reader, max_body_bytes=self.max_body_bytes)
                 except ApiError as error:
                     # A parser that lost framing cannot trust the next
-                    # bytes: answer and hang up.
-                    await self._write(writer, error_response(error, keep_alive=False))
+                    # bytes: answer and hang up.  No parsed headers means
+                    # no client-sent id to echo; mint one.
+                    await self._write(
+                        writer,
+                        error_response(
+                            error, keep_alive=False, headers={"X-Request-Id": new_trace_id()}
+                        ),
+                    )
                     return
                 if request is None:
                     return  # client closed between requests

@@ -1,0 +1,265 @@
+"""Spans and traces: per-request timing trees on the monotonic clock.
+
+A :class:`Trace` is the story of one request; a :class:`Span` is one
+named segment of it (``gateway.decode``, ``serve.queue``,
+``serve.dispatch``, ``worker.compute``, ``gateway.encode``).  Spans
+carry monotonic-clock timestamps, a parent link, and a small attribute
+dict -- enough to answer "which hop ate the budget" without dragging in
+an OpenTelemetry dependency.
+
+Design constraints (these shape every decision below):
+
+* **Always-on cheap.**  Recording a span is O(1) (append to a list, two
+  clock reads); when a request is sampled out there is *no trace object
+  at all* -- instrumentation sites check ``trace is not None`` and touch
+  nothing else, so the unsampled hot path allocates nothing.
+* **One event loop mutates.**  All span creation happens on the serving
+  process's event loop (gateway handler, batcher worker task), so traces
+  need no locking.  Worker processes never mutate the parent's trace:
+  they ship a compact timing payload back with the reply and the parent
+  stitches it in (see :mod:`repro.serve.batcher`).
+* **Cross-process clocks do not align.**  ``time.monotonic`` is
+  per-process, so a worker's raw timestamps are meaningless here.  The
+  worker reports *durations*; the parent anchors the stitched
+  ``worker.compute`` span inside its own ``serve.dispatch`` window.
+* **Batch fusion is shared structure.**  One fused engine call serves
+  many requests, so the batch span is one :class:`Span` *object*
+  attached to every member trace -- the shared ``span_id`` is the
+  cross-trace link.
+
+Context propagation uses :mod:`contextvars`: :func:`use_trace` installs
+the current trace for the enclosed ``await``s (``asyncio`` tasks copy
+the context at creation, so ``gather``-ed submits inherit it), and
+:func:`current_trace` reads it back inside ``DynamicBatcher.submit``.
+A second context variable carries the per-batch observability dict from
+the batcher's ``_execute`` into ``ReplicaGroup.infer`` (same task, same
+context) without widening the dispatch seam's signature.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Trace",
+    "new_trace_id",
+    "new_span_id",
+    "current_trace",
+    "use_trace",
+    "set_dispatch_context",
+    "reset_dispatch_context",
+    "get_dispatch_context",
+]
+
+#: Hard cap on recorded spans per trace -- a runaway instrumentation site
+#: must not grow a request's trace without bound.
+MAX_SPANS_PER_TRACE = 256
+
+_TRACE: contextvars.ContextVar[Optional["Trace"]] = contextvars.ContextVar(
+    "repro_obs_trace", default=None
+)
+_DISPATCH: contextvars.ContextVar[Optional[dict]] = contextvars.ContextVar(
+    "repro_obs_dispatch", default=None
+)
+
+
+#: Per-process random prefix + counter for span ids.  Spans are only ever
+#: referenced within the traces of one process (parent links, the shared
+#: batch span), so process-local uniqueness suffices -- and a counter is
+#: ~15x cheaper than ``uuid4`` on the per-request hot path.
+_SPAN_ID_PREFIX = os.urandom(4).hex()
+_span_id_counter = itertools.count(int.from_bytes(os.urandom(2), "big"))
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id (also minted as ``X-Request-Id``)."""
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-char span id (process-locally unique)."""
+    return f"{_SPAN_ID_PREFIX}{next(_span_id_counter) & 0xFFFFFFFF:08x}"
+
+
+class Span:
+    """One named, timed segment of a request.
+
+    ``start_s``/``end_s`` are ``time.monotonic`` instants in *this*
+    process; rendering converts them to offsets from the trace root so
+    the serialized form is clock-independent.  ``end`` is idempotent
+    (first call wins) and ``set`` attaches key-value attributes lazily
+    -- a span with no attributes never allocates the dict.
+    """
+
+    __slots__ = ("span_id", "name", "parent_id", "start_s", "end_s", "attrs")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        parent_id: Optional[str] = None,
+        start_s: Optional[float] = None,
+        span_id: Optional[str] = None,
+    ):
+        self.span_id = span_id if span_id is not None else new_span_id()
+        self.name = str(name)
+        self.parent_id = parent_id
+        self.start_s = time.monotonic() if start_s is None else float(start_s)
+        self.end_s: Optional[float] = None
+        self.attrs: Optional[Dict[str, Any]] = None
+
+    def end(self, at: Optional[float] = None) -> "Span":
+        if self.end_s is None:
+            self.end_s = time.monotonic() if at is None else float(at)
+        return self
+
+    def set(self, **attrs) -> "Span":
+        if self.attrs is None:
+            self.attrs = {}
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def ended(self) -> bool:
+        return self.end_s is not None
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end_s if self.end_s is not None else time.monotonic()
+        return max(0.0, (end - self.start_s) * 1000.0)
+
+    def as_dict(self, base_s: float) -> dict:
+        """JSON-friendly form with offsets relative to the trace root."""
+        out = {
+            "span_id": self.span_id,
+            "name": self.name,
+            "parent_id": self.parent_id,
+            "start_ms": (self.start_s - base_s) * 1000.0,
+            "duration_ms": self.duration_ms,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = f"{self.duration_ms:.3f}ms" if self.ended else "open"
+        return f"Span({self.name!r}, {state})"
+
+
+class Trace:
+    """One request's span tree, rooted at the gateway (or any caller).
+
+    The root span covers the whole traced window; :meth:`span` opens a
+    child (parented to the root unless ``parent`` names another span),
+    :meth:`attach` records an externally-built span object (the shared
+    batch span, the stitched worker span).  :meth:`finish` closes the
+    root and freezes the trace for the buffer.
+    """
+
+    __slots__ = ("trace_id", "root", "spans", "finished", "dropped")
+
+    def __init__(self, trace_id: Optional[str] = None, name: str = "request"):
+        self.trace_id = trace_id if trace_id else new_trace_id()
+        self.root = Span(name)
+        self.spans: List[Span] = [self.root]
+        self.finished = False
+        self.dropped = 0
+
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Optional[Span] = None,
+        start_s: Optional[float] = None,
+    ) -> Span:
+        """Open (and record) a child span; returns it for ``end()``/``set()``."""
+        parent_id = (parent if parent is not None else self.root).span_id
+        span = Span(name, parent_id=parent_id, start_s=start_s)
+        self.attach(span)
+        return span
+
+    def attach(self, span: Span) -> Span:
+        """Record an externally-created span (shared batch/worker spans)."""
+        if len(self.spans) < MAX_SPANS_PER_TRACE:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    def finish(self, error: Optional[str] = None) -> "Trace":
+        """Close the root span; idempotent.  ``error`` lands as a root attr."""
+        if error is not None:
+            self.root.set(error=str(error))
+        self.root.end()
+        for span in self.spans:
+            # An instrumentation site that failed mid-flight (exception
+            # between open and end) must not leave an ever-growing span.
+            span.end(self.root.end_s)
+        self.finished = True
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        return self.root.duration_ms
+
+    def find(self, name: str) -> List[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def as_dict(self) -> dict:
+        base = self.root.start_s
+        spans = sorted(self.spans, key=lambda s: (s.start_s, s.name))
+        out = {
+            "trace_id": self.trace_id,
+            "name": self.root.name,
+            "duration_ms": self.duration_ms,
+            "finished": self.finished,
+            "spans": [span.as_dict(base) for span in spans],
+        }
+        if self.dropped:
+            out["dropped_spans"] = self.dropped
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trace({self.trace_id!r}, spans={len(self.spans)}, {self.duration_ms:.3f}ms)"
+
+
+# ---------------------------------------------------------------------- #
+# Context propagation
+# ---------------------------------------------------------------------- #
+def current_trace() -> Optional[Trace]:
+    """The trace of the request being served on this task, if any."""
+    return _TRACE.get()
+
+
+@contextmanager
+def use_trace(trace: Optional[Trace]):
+    """Install ``trace`` as the current trace for the enclosed block.
+
+    Tasks created inside the block (``asyncio.gather``, ``create_task``)
+    copy the context at creation and therefore inherit the trace.
+    """
+    token = _TRACE.set(trace)
+    try:
+        yield trace
+    finally:
+        _TRACE.reset(token)
+
+
+def set_dispatch_context(ctx: Optional[dict]):
+    """Install the per-batch observability dict (batcher ``_execute`` only)."""
+    return _DISPATCH.set(ctx)
+
+
+def reset_dispatch_context(token) -> None:
+    _DISPATCH.reset(token)
+
+
+def get_dispatch_context() -> Optional[dict]:
+    """Read the per-batch observability dict (``ReplicaGroup.infer``)."""
+    return _DISPATCH.get()

@@ -1,0 +1,201 @@
+"""The per-process tracer: sampling, the trace ring, slow exemplars.
+
+A :class:`Tracer` owns the lifecycle of every :class:`~repro.obs.trace.Trace`
+in one process: it decides whether a request is sampled (``sample_rate``
+knob -- when a request loses the coin flip the instrumentation sites see
+``None`` and allocate nothing), hands out live traces, and files the
+finished ones into a :class:`TraceBuffer` -- a bounded ring of recent
+traces plus a keep-the-K-worst exemplar set, so the trace a slow request
+left behind survives long after fast traffic has churned the ring.
+
+The module-level :func:`get_tracer`/:func:`set_tracer` pair gives the
+serving stack one shared tracer per process (the gateway mints traces,
+the exposition endpoints read them back) while letting tests inject an
+isolated instance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.trace import Trace
+
+__all__ = ["Tracer", "TraceBuffer", "get_tracer", "set_tracer", "configure"]
+
+#: Default bound on buffered finished traces.
+DEFAULT_CAPACITY = 256
+#: Default number of slowest traces pinned past ring eviction.
+DEFAULT_SLOW_KEEP = 16
+
+
+class TraceBuffer:
+    """Bounded store of finished traces: a recency ring + slow exemplars.
+
+    The ring keeps the last ``capacity`` traces (FIFO eviction); the
+    exemplar heap pins the ``slow_keep`` slowest traces seen so far so
+    ``GET /v1/traces?slow=N`` can answer "what did the worst requests
+    look like" even under heavy churn.  Thread-safe: finishes happen on
+    the event loop while scrapes may read from anywhere.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, slow_keep: int = DEFAULT_SLOW_KEEP):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if slow_keep < 0:
+            raise ValueError("slow_keep must be >= 0")
+        self.capacity = int(capacity)
+        self.slow_keep = int(slow_keep)
+        self._lock = threading.Lock()
+        self._ring: "OrderedDict[str, dict]" = OrderedDict()
+        #: Min-heap of ``(duration_ms, tiebreak, trace_id)`` -- the root is
+        #: the *fastest* pinned exemplar, evicted first when a slower
+        #: trace arrives.
+        self._slow_heap: List[Tuple[float, int, str]] = []
+        self._slow: Dict[str, dict] = {}
+        self._tiebreak = itertools.count()
+        self.added = 0
+        self.evicted = 0
+
+    def add(self, trace: Trace) -> None:
+        frozen = trace.as_dict()
+        trace_id = frozen["trace_id"]
+        duration = float(frozen.get("duration_ms") or 0.0)
+        with self._lock:
+            self._ring[trace_id] = frozen
+            self._ring.move_to_end(trace_id)
+            while len(self._ring) > self.capacity:
+                self._ring.popitem(last=False)
+                self.evicted += 1
+            if self.slow_keep > 0:
+                if len(self._slow_heap) < self.slow_keep:
+                    heapq.heappush(self._slow_heap, (duration, next(self._tiebreak), trace_id))
+                    self._slow[trace_id] = frozen
+                elif duration > self._slow_heap[0][0]:
+                    _, _, out = heapq.heapreplace(
+                        self._slow_heap, (duration, next(self._tiebreak), trace_id)
+                    )
+                    self._slow.pop(out, None)
+                    self._slow[trace_id] = frozen
+            self.added += 1
+
+    def get(self, trace_id: str) -> Optional[dict]:
+        with self._lock:
+            found = self._ring.get(trace_id)
+            if found is None:
+                found = self._slow.get(trace_id)
+            return found
+
+    def slowest(self, n: int) -> List[dict]:
+        """The ``n`` slowest retained traces, worst first."""
+        with self._lock:
+            pool = {**{t["trace_id"]: t for t in self._ring.values()}, **self._slow}
+        ranked = sorted(pool.values(), key=lambda t: float(t.get("duration_ms") or 0.0), reverse=True)
+        return ranked[: max(0, int(n))]
+
+    def recent(self, n: int) -> List[dict]:
+        """The ``n`` most recently finished traces, newest first."""
+        with self._lock:
+            items = list(self._ring.values())
+        return list(reversed(items))[: max(0, int(n))]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+
+class Tracer:
+    """Mints, samples and files traces for one process.
+
+    ``sample_rate`` in ``[0, 1]`` is the always-on-cheap knob: at 1.0
+    (the default -- tests want every trace) each request gets a trace; at
+    0.0 :meth:`trace` always answers ``None`` and the hot path performs
+    one attribute read and one comparison, allocating nothing.
+    """
+
+    def __init__(
+        self,
+        *,
+        sample_rate: float = 1.0,
+        capacity: int = DEFAULT_CAPACITY,
+        slow_keep: int = DEFAULT_SLOW_KEEP,
+        rng: Optional[random.Random] = None,
+    ):
+        if not (0.0 <= sample_rate <= 1.0):
+            raise ValueError("sample_rate must be within [0, 1]")
+        self.sample_rate = float(sample_rate)
+        self.buffer = TraceBuffer(capacity, slow_keep)
+        self._rng = rng if rng is not None else random.Random()
+        self.started = 0
+        self.sampled_out = 0
+        self.finished = 0
+
+    def trace(self, trace_id: Optional[str] = None, name: str = "request") -> Optional[Trace]:
+        """A live trace for one request, or ``None`` when sampled out."""
+        if self.sample_rate <= 0.0:
+            self.sampled_out += 1
+            return None
+        if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+            self.sampled_out += 1
+            return None
+        self.started += 1
+        return Trace(trace_id, name)
+
+    def finish(self, trace: Optional[Trace], error: Optional[str] = None) -> None:
+        """Close ``trace`` and file it; a ``None`` trace is a no-op."""
+        if trace is None:
+            return
+        trace.finish(error)
+        self.buffer.add(trace)
+        self.finished += 1
+
+    def get(self, trace_id: str) -> Optional[dict]:
+        return self.buffer.get(trace_id)
+
+    def slowest(self, n: int) -> List[dict]:
+        return self.buffer.slowest(n)
+
+    def recent(self, n: int) -> List[dict]:
+        return self.buffer.recent(n)
+
+    def snapshot(self) -> dict:
+        """Counters for ``/metrics`` -- plain finite numbers only."""
+        return {
+            "sample_rate": self.sample_rate,
+            "started": self.started,
+            "sampled_out": self.sampled_out,
+            "finished": self.finished,
+            "buffered": len(self.buffer),
+            "evicted": self.buffer.evicted,
+        }
+
+
+_tracer = Tracer()
+_tracer_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer the serving stack shares."""
+    return _tracer
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer (tests inject isolated instances)."""
+    global _tracer
+    with _tracer_lock:
+        _tracer = tracer
+    return tracer
+
+
+def configure(
+    *,
+    sample_rate: float = 1.0,
+    capacity: int = DEFAULT_CAPACITY,
+    slow_keep: int = DEFAULT_SLOW_KEEP,
+) -> Tracer:
+    """Build and install a fresh process-wide tracer; returns it."""
+    return set_tracer(Tracer(sample_rate=sample_rate, capacity=capacity, slow_keep=slow_keep))

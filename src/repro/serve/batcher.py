@@ -33,10 +33,17 @@ preserves the classic ``max_batch`` / ``max_wait_ms`` window semantics.
 from __future__ import annotations
 
 import asyncio
+import os
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs.trace import (
+    Span,
+    current_trace,
+    reset_dispatch_context,
+    set_dispatch_context,
+)
 from repro.serve.errors import DeadlineExceededError, ServerClosedError, ServerOverloadedError
 from repro.serve.metrics import BatcherStats
 from repro.serve.policy import BatchingPolicy, FixedWindowPolicy, Request
@@ -264,6 +271,14 @@ class DynamicBatcher:
             raise ServerOverloadedError(
                 f"batcher {self.name!r} is overloaded ({self.max_queue} requests pending)"
             )
+        # Trace propagation: a submit running inside a traced context
+        # (the gateway installs it via use_trace) opens the request's
+        # queue span here.  Untraced traffic sees None and allocates
+        # nothing -- this is the always-on-cheap contract.
+        trace = current_trace()
+        span = None
+        if trace is not None:
+            span = trace.span("serve.queue", start_s=arrival).set(model=self.name)
         self._queue.put_nowait(
             Request(
                 payload=array,
@@ -271,6 +286,8 @@ class DynamicBatcher:
                 arrival=arrival,
                 deadline=deadline,
                 explicit_deadline=explicit,
+                trace=trace,
+                span=span,
             )
         )
         self._stats.submitted += 1
@@ -304,6 +321,8 @@ class DynamicBatcher:
             task.add_done_callback(self._retry_tasks.discard)
             return True
         self._stats.deadline_missed += 1
+        if request.span is not None:
+            request.span.end(now).set(outcome="shed_deadline")
         if not request.future.done():
             overdue_ms = (now - request.deadline) * 1000.0 if request.deadline is not None else 0.0
             request.future.set_exception(
@@ -320,6 +339,8 @@ class DynamicBatcher:
             row = await self._shed_retry(request.payload)
         except Exception:
             self._stats.deadline_missed += 1
+            if request.span is not None:
+                request.span.end().set(outcome="shed_rescue_failed")
             if not request.future.done():
                 request.future.set_exception(
                     DeadlineExceededError(
@@ -329,6 +350,8 @@ class DynamicBatcher:
                 )
             return
         self._stats.shed_recovered += 1
+        if request.span is not None:
+            request.span.end().set(outcome="rescued")
         if not request.future.done():
             request.future.set_result(np.asarray(row))
 
@@ -405,10 +428,36 @@ class DynamicBatcher:
     async def _execute(self, batch: List[Request]) -> None:
         loop = asyncio.get_running_loop()
         started = loop.time()
+        # Fusion is shared structure, so traced members share ONE batch
+        # span object (same span_id in every member trace -- the
+        # cross-trace link).  loop.time() and the span clock are both
+        # time.monotonic on CPython, so instants mix freely.
+        traced = [request for request in batch if request.span is not None]
+        batch_span = None
+        dispatch_ctx = None
+        for request in traced:
+            request.span.end(started)
+        if traced:
+            batch_span = Span("serve.batch", start_s=started).set(
+                batch_size=len(batch), traced=len(traced)
+            )
+            for request in traced:
+                request.trace.attach(batch_span)
+            if self._dispatch is not None:
+                # The replica group fills this in (replica index, wire
+                # transport, worker timing); the contextvar carries it
+                # through the dispatch seam without widening its
+                # signature -- group.infer runs in this same task.
+                dispatch_ctx = {"trace_ids": [request.trace.trace_id for request in traced]}
         try:
             stacked = np.stack([request.payload for request in batch], axis=0)
             if self._dispatch is not None:
-                results = await self._dispatch(stacked)
+                token = set_dispatch_context(dispatch_ctx) if dispatch_ctx is not None else None
+                try:
+                    results = await self._dispatch(stacked)
+                finally:
+                    if token is not None:
+                        reset_dispatch_context(token)
             elif self.run_in_executor:
                 results = await loop.run_in_executor(None, self._fused_call, stacked)
             else:
@@ -419,12 +468,17 @@ class DynamicBatcher:
                     f"engine returned {len(results)} rows for a batch of {len(batch)}"
                 )
         except Exception as exc:
+            if batch_span is not None:
+                batch_span.end().set(error=f"{type(exc).__name__}: {exc}")
             for request in batch:
                 if not request.future.done():
                     request.future.set_exception(exc)
             return
         finished = loop.time()
         compute_s = finished - started
+        if batch_span is not None:
+            batch_span.end(finished)
+            self._stitch_spans(traced, batch_span, dispatch_ctx, started, finished)
         self._stats.record_batch(len(batch), compute_s)
         for request, row in zip(batch, results):
             self._stats.record_request(started - request.arrival, finished - request.arrival)
@@ -435,6 +489,50 @@ class DynamicBatcher:
         self.policy.observe(
             batch_size=len(batch), compute_s=compute_s, queue_depth=self._queue.qsize()
         )
+
+    def _stitch_spans(
+        self,
+        traced: List[Request],
+        batch_span: Span,
+        dispatch_ctx: Optional[dict],
+        started: float,
+        finished: float,
+    ) -> None:
+        """Record per-request dispatch + worker-compute spans after a batch.
+
+        Cross-process clocks do not align, so the worker reports its
+        compute *duration* (shipped back with the reply through the
+        transport's ``ok`` frame) and the parent anchors the stitched
+        ``worker.compute`` span at the end of its own dispatch window.
+        The inline (no-cluster) path computes in this very process, so
+        its compute span simply covers the execute window.
+        """
+        ctx = dispatch_ctx or {}
+        worker_obs = ctx.get("worker") or {}
+        worker_compute_s = ctx.get("compute_s")
+        for request in traced:
+            dspan = request.trace.span("serve.dispatch", parent=batch_span, start_s=started)
+            dspan.end(finished)
+            if ctx.get("replica") is not None:
+                dspan.set(
+                    replica=ctx.get("replica"),
+                    transport=ctx.get("transport"),
+                    retries=ctx.get("retries", 0),
+                )
+            if worker_compute_s is not None:
+                wspan = Span(
+                    "worker.compute",
+                    parent_id=dspan.span_id,
+                    start_s=max(started, finished - float(worker_compute_s)),
+                )
+                wspan.end(finished)
+                if worker_obs:
+                    wspan.set(**worker_obs)
+                request.trace.attach(wspan)
+            elif self._dispatch is None:
+                request.trace.span(
+                    "worker.compute", parent=dspan, start_s=started
+                ).end(finished).set(inline=True, pid=os.getpid())
 
     def _fused_call(self, stacked: np.ndarray) -> np.ndarray:
         """One engine call over the whole coalesced batch."""

@@ -29,7 +29,12 @@ O(1) and allocation-free after warm-up.
 
 from __future__ import annotations
 
+import math
+from typing import Sequence, Tuple
+
 import numpy as np
+
+from repro.obs.prom import Histogram
 
 #: Default number of recent requests a sliding window remembers.  Big
 #: enough that a p99 over it is meaningful (>= several hundred samples),
@@ -81,6 +86,30 @@ class PercentileWindow:
         if len(self) == 0:
             return float("nan")
         return float(np.percentile(self._values(), q))
+
+    def quantiles(self, qs: Sequence[float]) -> Tuple[float, ...]:
+        """Several percentiles from **one** sorted snapshot.
+
+        A snapshot-then-sort makes two guarantees a loop of
+        :meth:`percentile` calls cannot: the answers are mutually
+        consistent (all computed over the *same* observations, even if a
+        recording races the query from another thread), and the window
+        is sorted once instead of partitioned per quantile.  The
+        interpolation matches ``np.percentile``'s default (linear)
+        exactly.
+        """
+        if len(self) == 0:
+            return tuple(float("nan") for _ in qs)
+        values = np.sort(self._values())  # one copy + one sort: the snapshot
+        top = len(values) - 1
+        out = []
+        for q in qs:
+            position = top * (float(q) / 100.0)
+            low = int(math.floor(position))
+            high = min(low + 1, top)
+            fraction = position - low
+            out.append(float(values[low] * (1.0 - fraction) + values[high] * fraction))
+        return tuple(out)
 
     def mean(self) -> float:
         if len(self) == 0:
@@ -143,6 +172,13 @@ class BatcherStats:
         self.latency = PercentileWindow(window)
         self.queue_wait = PercentileWindow(window)
         self.compute = PercentileWindow(window)
+        #: Fixed-bucket histograms for the Prometheus exposition
+        #: (``GET /metrics``): cumulative over the batcher's lifetime,
+        #: unlike the sliding windows above.  Recording is O(log buckets)
+        #: and NaN-safe (:class:`repro.obs.Histogram`).
+        self.latency_hist = Histogram()
+        self.queue_wait_hist = Histogram()
+        self.compute_hist = Histogram()
         #: Per-replica breakdown, attached by the server for cluster models.
         self.replicas = None
         #: Autoscaler snapshot (:meth:`~repro.cluster.Autoscaler.snapshot`),
@@ -162,11 +198,14 @@ class BatcherStats:
         self.completed += batch_size
         self.largest_batch = max(self.largest_batch, batch_size)
         self.compute.record(compute_s * 1000.0)
+        self.compute_hist.observe(compute_s * 1000.0)
 
     def record_request(self, queue_wait_s: float, latency_s: float) -> None:
         """One request resolved (per row of the batch)."""
         self.queue_wait.record(queue_wait_s * 1000.0)
         self.latency.record(latency_s * 1000.0)
+        self.queue_wait_hist.observe(queue_wait_s * 1000.0)
+        self.latency_hist.observe(latency_s * 1000.0)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -193,6 +232,9 @@ class BatcherStats:
         Cluster-backed models additionally carry a ``replicas`` list with
         one row per worker process.
         """
+        # One sorted pass over one snapshot: the three quantiles are
+        # mutually consistent even when a recording races this query.
+        p50, p95, p99 = self.latency.quantiles((50, 95, 99))
         snapshot = {
             "submitted": self.submitted,
             "completed": self.completed,
@@ -203,9 +245,9 @@ class BatcherStats:
             "batches": self.batches,
             "largest_batch": self.largest_batch,
             "mean_batch_size": self.mean_batch_size,
-            "p50_latency_ms": self.p50_latency_ms,
-            "p95_latency_ms": self.p95_latency_ms,
-            "p99_latency_ms": self.p99_latency_ms,
+            "p50_latency_ms": p50,
+            "p95_latency_ms": p95,
+            "p99_latency_ms": p99,
             "mean_queue_wait_ms": self.queue_wait.mean(),
             "mean_compute_ms": self.compute.mean(),
         }

@@ -75,6 +75,11 @@ class Request:
     deadline: Optional[float] = None
     retried: bool = False
     explicit_deadline: bool = False
+    #: The request's :class:`~repro.obs.Trace` and its open
+    #: ``serve.queue`` span when submitted inside a traced context
+    #: (:mod:`repro.obs`); both stay ``None`` for untraced traffic.
+    trace: Any = None
+    span: Any = None
 
 
 class BatchingPolicy:

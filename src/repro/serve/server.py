@@ -36,6 +36,7 @@ from repro.serve.batcher import BatcherStats, DynamicBatcher
 from repro.serve.errors import ServerClosedError
 from repro.serve.policy import BatchingPolicy
 from repro.serve.registry import SessionRegistry
+from repro.obs.log import get_logger as _obs_logger
 
 logger = logging.getLogger(__name__)
 
@@ -505,6 +506,13 @@ class InferenceServer:
             ref.version_tag,
             ref.content_hash,
             len(group),
+        )
+        _obs_logger().info(
+            "serve.model_swapped",
+            model=name,
+            version=ref.version_tag,
+            content_hash=ref.content_hash[:12],
+            replicas=len(group),
         )
         return {"model": name, **ref.describe(), "replicas": len(group), "changed": True}
 

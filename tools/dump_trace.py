@@ -1,0 +1,143 @@
+"""Render one request trace as an aligned per-hop waterfall.
+
+A terminal lens on ``repro.obs`` traces (``docs/observability.md``):
+takes the frozen-trace JSON that ``GET /v1/traces/{id}`` answers --
+either fetched live from a running gateway or read from a file -- and
+prints each span as a bar positioned on the request's timeline, so the
+split between gateway codec, queue wait, dispatch and worker compute is
+visible at a glance::
+
+    trace 8f3a...  (request, 61.42 ms, finished)
+    request           |##################################################|  61.42 ms
+    gateway.decode    |#                                                 |   0.31 ms  model=donn items=1
+    serve.queue       | ##                                               |   1.84 ms  model=donn outcome=batched
+    serve.batch       |   ###############################################|  58.90 ms  batch_size=2
+    serve.dispatch    |   ###############################################|  58.88 ms  replica=0 transport=socket(...)
+    worker.compute    |                                    ##############|  52.10 ms  compute_ms=52.1
+    gateway.encode    |                                                 #|   0.12 ms
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/dump_trace.py --url http://127.0.0.1:8080 --trace-id <id>
+    PYTHONPATH=src python tools/dump_trace.py --url http://127.0.0.1:8080 --slowest
+    PYTHONPATH=src python tools/dump_trace.py --file trace.json
+
+The formatting logic lives in :func:`format_trace`, so docs doctests and
+tests can call it on a frozen-trace dict without a subprocess or a live
+gateway.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from typing import List
+
+#: Width of the timeline gutter, in characters.
+DEFAULT_WIDTH = 50
+
+
+def format_trace(frozen: dict, width: int = DEFAULT_WIDTH) -> str:
+    """The aligned waterfall for one frozen trace (``GET /v1/traces/{id}`` body)."""
+    spans = frozen.get("spans", [])
+    total_ms = float(frozen.get("duration_ms") or 0.0)
+    if total_ms <= 0.0:
+        total_ms = max(
+            (float(s.get("start_ms", 0.0)) + float(s.get("duration_ms") or 0.0) for s in spans),
+            default=1.0,
+        )
+    state = "finished" if frozen.get("finished") else "open"
+    header = (
+        f"trace {frozen.get('trace_id', '?')}  "
+        f"({frozen.get('name', 'request')}, {total_ms:.2f} ms, {state})"
+    )
+    lines: List[str] = [header]
+    if frozen.get("error"):
+        lines.append(f"error: {frozen['error']}")
+    if frozen.get("dropped_spans"):
+        lines.append(f"dropped spans: {frozen['dropped_spans']}")
+
+    name_width = max((len(s.get("name", "?")) for s in spans), default=4)
+    scale = width / total_ms if total_ms > 0 else 0.0
+    for span in spans:
+        start_ms = float(span.get("start_ms", 0.0))
+        duration_ms = float(span.get("duration_ms") or 0.0)
+        left = min(width - 1, max(0, int(round(start_ms * scale))))
+        bar_len = max(1, min(int(round(duration_ms * scale)), width - left))
+        gutter = (" " * left + "#" * bar_len).ljust(width)
+        attrs = span.get("attrs") or {}
+        attr_text = " ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+        line = f"{span.get('name', '?'):<{name_width}}  |{gutter}|  {duration_ms:>8.2f} ms"
+        if attr_text:
+            line += f"  {attr_text}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def fetch_trace(base_url: str, trace_id: str, timeout_s: float = 10.0) -> dict:
+    """``GET {base_url}/v1/traces/{trace_id}`` -> the frozen-trace dict."""
+    url = f"{base_url.rstrip('/')}/v1/traces/{trace_id}"
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def fetch_slowest(base_url: str, n: int = 1, timeout_s: float = 10.0) -> List[dict]:
+    """``GET {base_url}/v1/traces?slow=N`` -> the N worst frozen traces."""
+    url = f"{base_url.rstrip('/')}/v1/traces?slow={int(n)}"
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return json.loads(response.read().decode("utf-8"))["traces"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--file", help="path to a frozen-trace JSON file ('-' for stdin)")
+    source.add_argument("--url", help="base URL of a running gateway, e.g. http://127.0.0.1:8080")
+    parser.add_argument("--trace-id", help="request id to fetch (with --url)")
+    parser.add_argument(
+        "--slowest",
+        nargs="?",
+        const=1,
+        type=int,
+        metavar="N",
+        help="fetch the N slowest retained traces instead of one id (with --url)",
+    )
+    parser.add_argument("--width", type=int, default=DEFAULT_WIDTH, help="timeline width in chars")
+    args = parser.parse_args()
+
+    if args.file:
+        blob = sys.stdin.read() if args.file == "-" else open(args.file, encoding="utf-8").read()
+        parsed = json.loads(blob)
+        traces = parsed if isinstance(parsed, list) else parsed.get("traces", [parsed])
+        if isinstance(traces, dict):
+            traces = [traces]
+    else:
+        if args.slowest is None and not args.trace_id:
+            parser.error("--url needs --trace-id or --slowest")
+        try:
+            if args.slowest is not None:
+                traces = fetch_slowest(args.url, args.slowest)
+            else:
+                traces = [fetch_trace(args.url, args.trace_id)]
+        except urllib.error.HTTPError as error:
+            print(f"gateway answered {error.code}: {error.read().decode('utf-8', 'replace')}")
+            return 1
+        except urllib.error.URLError as error:
+            print(f"cannot reach {args.url}: {error.reason}")
+            return 1
+
+    if not traces:
+        print("no traces retained (has any traffic run with sampling on?)")
+        return 1
+    for index, frozen in enumerate(traces):
+        if index:
+            print()
+        print(format_trace(frozen, width=args.width))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
